@@ -1,0 +1,167 @@
+// Ablations: the design choices DESIGN.md calls out, each toggled in
+// isolation — the three Table IV "suggested resolve" extensions (what they
+// fix and what they cost) plus the coupling/deployment knobs the paper's
+// Table I fixes silently (Flexpath queue_size, DataSpaces servers-per-node,
+// Decaf redistribution policy).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace imc;
+using workflow::AppSel;
+using workflow::MethodSel;
+using workflow::Spec;
+
+namespace {
+
+void print_result(const char* label, const workflow::RunResult& result) {
+  if (result.ok) {
+    std::printf("  %-34s %9.2f s end-to-end, %8.3f s staging/rank\n", label,
+                result.end_to_end, result.sim_staging + result.ana_staging);
+  } else {
+    std::printf("  %-34s %s\n", label, result.failure_summary().c_str());
+  }
+}
+
+void ablate_rdma_retry() {
+  std::printf("\n[1] RDMA wait-and-retry (Table IV resolve) — Laplace "
+              "128 MB/proc, Titan, 4 servers:\n");
+  Spec spec;
+  spec.app = AppSel::kLaplace;
+  spec.method = MethodSel::kDataspacesNative;
+  spec.machine = hpc::titan();
+  spec.nsim = 32;
+  spec.nana = 16;
+  spec.steps = 3;
+  spec.num_servers = 4;
+  spec.servers_per_node = 1;
+  print_result("fail-fast (the real library)", workflow::run(spec));
+  spec.rdma_wait_retry = true;
+  print_result("wait-and-retry", workflow::run(spec));
+}
+
+void ablate_socket_pool() {
+  std::printf("\n[2] Socket pooling (Table IV resolve) — LAMMPS, Titan, "
+              "sockets, 512 descriptors/node:\n");
+  Spec spec;
+  spec.app = AppSel::kLammps;
+  spec.method = MethodSel::kDataspacesNative;
+  spec.machine = hpc::titan();
+  spec.machine.socket_descriptors_per_node = 512;
+  spec.nsim = 256;
+  spec.nana = 128;
+  spec.steps = 2;
+  spec.transport = Spec::Transport::kSockets;
+  print_result("per-connection sockets", workflow::run(spec));
+  spec.socket_pooling = true;
+  auto pooled = workflow::run(spec);
+  print_result("pooled (2 streams/node pair)", pooled);
+  if (pooled.ok) {
+    std::printf("  %-34s %d descriptors at peak (vs depletion above)\n", "",
+                pooled.socket_peak);
+  }
+}
+
+void ablate_drc_metering() {
+  std::printf("\n[3] DRC metering (Table IV resolve) — LAMMPS, Cori, "
+              "capacity lowered to 64:\n");
+  Spec spec;
+  spec.app = AppSel::kLammps;
+  spec.method = MethodSel::kDataspacesNative;
+  spec.machine = hpc::cori_knl();
+  spec.machine.drc_capacity = 64;
+  spec.nsim = 128;
+  spec.nana = 64;
+  spec.steps = 2;
+  print_result("load-shedding DRC (the real service)", workflow::run(spec));
+  spec.drc_metered = true;
+  print_result("metered DRC", workflow::run(spec));
+}
+
+void ablate_queue_size() {
+  std::printf("\n[4] Flexpath queue_size (Table I fixes 1) — LAMMPS, Titan, "
+              "analytics 3x slower than the simulation:\n");
+  for (int queue_size : {1, 2, 4}) {
+    Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kFlexpath;
+    spec.machine = hpc::titan();
+    spec.nsim = 16;
+    spec.nana = 2;  // few readers processing a lot: analytics-bound
+    spec.steps = 4;
+    spec.flexpath_queue_size = queue_size;
+    char label[64];
+    std::snprintf(label, sizeof(label), "queue_size=%d", queue_size);
+    auto result = workflow::run(spec);
+    if (result.ok) {
+      std::printf("  %-34s sim finished %7.2f s, workflow %7.2f s, "
+                  "writer peak %4.0f MB\n",
+                  label, result.sim_span, result.end_to_end,
+                  static_cast<double>(result.sim_rank_peak) / 1e6);
+    } else {
+      std::printf("  %-34s %s\n", label, result.failure_summary().c_str());
+    }
+  }
+  std::printf("  (deeper queues decouple the simulation from slow analytics "
+              "at the price of more staged memory per writer)\n");
+}
+
+void ablate_servers_per_node() {
+  std::printf("\n[5] DataSpaces servers per staging node (paper runs 2) — "
+              "Laplace 64 MB/proc, Titan, 8 servers:\n");
+  for (int spn : {1, 2, 4}) {
+    Spec spec;
+    spec.app = AppSel::kLaplace;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.nsim = 64;
+    spec.nana = 32;
+    spec.steps = 2;
+    spec.num_servers = 8;
+    spec.servers_per_node = spn;
+    spec.laplace_rows = 4096;
+    spec.laplace_cols_per_proc = 2048;
+    char label[64];
+    std::snprintf(label, sizeof(label), "servers_per_node=%d", spn);
+    print_result(label, workflow::run(spec));
+  }
+  std::printf("  (fewer servers per node buys registered-memory headroom at "
+              "the cost of more staging nodes)\n");
+}
+
+void ablate_decaf_servers_density() {
+  std::printf("\n[6] Decaf dataflow width vs pipeline depth — Laplace, "
+              "Titan, (64,32):\n");
+  // Complements Fig. 11: with very few dataflow ranks the 7x Bredala
+  // pipeline concentrates and can exceed node DRAM — the Table IV
+  // out-of-main-memory scenario in ablation form.
+  for (int servers : {4, 8, 32}) {
+    Spec spec;
+    spec.app = AppSel::kLaplace;
+    spec.method = MethodSel::kDecaf;
+    spec.machine = hpc::titan();
+    spec.nsim = 64;
+    spec.nana = 32;
+    spec.num_servers = servers;
+    spec.steps = 2;
+    spec.laplace_rows = 4096;
+    spec.laplace_cols_per_proc = 2048;
+    char label[64];
+    std::snprintf(label, sizeof(label), "dataflow ranks=%d", servers);
+    print_result(label, workflow::run(spec));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablations",
+                      "design choices and Table IV resolves, toggled");
+  ablate_rdma_retry();
+  ablate_socket_pool();
+  ablate_drc_metering();
+  ablate_queue_size();
+  ablate_servers_per_node();
+  ablate_decaf_servers_density();
+  return 0;
+}

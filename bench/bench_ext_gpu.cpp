@@ -1,0 +1,65 @@
+// Extension experiment (paper §IV-B, future work): GPU-resident output.
+//
+// The paper: "GPU is mostly not supported by the current in-memory
+// libraries, and data staging is assumed to be done at main memory ...
+// GPU-enabled workflows are required to take care of the movement between
+// GPU and CPU memory. ... given the recent development in new
+// interconnects, e.g., NVLink, ... an attractive area for future research."
+//
+// This bench quantifies exactly that: the per-step PCIe device-to-host tax
+// a GPU-resident LAMMPS pays before every put on Titan's K20X nodes, and
+// how much a GPUDirect-capable staging path would recover.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace imc;
+using workflow::MethodSel;
+
+int main() {
+  bench::print_banner("Extension: GPU staging",
+                      "device-resident output vs host staging (Titan)");
+  std::printf("\nLAMMPS+MSD, (128,64), DataSpaces/native, 20 MB/proc/step\n");
+  std::printf("%-28s %12s %16s\n", "output residency", "end-to-end",
+              "D2H copy/rank");
+  for (int mode = 0; mode < 3; ++mode) {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.nsim = 128;
+    spec.nana = 64;
+    spec.steps = 3;
+    const char* label = "host memory";
+    if (mode == 1) {
+      spec.gpu_resident_output = true;
+      label = "GPU via PCIe bounce";
+    } else if (mode == 2) {
+      spec.gpu_resident_output = true;
+      spec.use_gpudirect = true;
+      label = "GPU via GPUDirect (future)";
+    }
+    auto result = workflow::run(spec);
+    if (result.ok) {
+      std::printf("%-28s %10.2f s %14.3f s\n", label, result.end_to_end,
+                  result.gpu_copy_time);
+    } else {
+      std::printf("%-28s %s\n", label, result.failure_summary().c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\nCori KNL has no GPUs; a GPU-resident run is rejected:\n");
+  {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::cori_knl();
+    spec.nsim = 32;
+    spec.nana = 16;
+    spec.gpu_resident_output = true;
+    auto result = workflow::run(spec);
+    std::printf("  %s\n", result.failure_summary().c_str());
+  }
+  return 0;
+}

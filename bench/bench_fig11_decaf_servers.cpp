@@ -1,0 +1,55 @@
+// Figure 11: memory usage per Decaf server (dataflow rank) versus the
+// number of servers, Laplace workflow at (64, 32) on Titan.
+//
+// Paper shape reproduced: per-server memory drops proportionally as servers
+// are added (~83.5% from 8 to 64 servers) while the end-to-end time barely
+// moves (~5.5%) — the dataflow is not the bottleneck.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace imc;
+
+int main() {
+  bench::print_banner("Figure 11",
+                      "Decaf: memory and time vs number of servers");
+  std::printf("\nLaplace at (64,32) on titan\n");
+  std::printf("%-10s %18s %14s\n", "servers", "peak mem/server", "end-to-end");
+  double mem8 = 0, t8 = 0, mem64 = 0, t64 = 0;
+  for (int servers : {8, 16, 32, 64}) {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLaplace;
+    spec.method = workflow::MethodSel::kDecaf;
+    spec.machine = hpc::titan();
+    spec.nsim = 64;
+    spec.nana = 32;
+    spec.num_servers = servers;
+    spec.steps = 2;
+    // Moderate problem size so the 7x pipeline fits Titan nodes at 8
+    // servers.
+    spec.laplace_rows = 2048;
+    spec.laplace_cols_per_proc = 2048;
+    auto result = workflow::run(spec);
+    if (!result.ok) {
+      std::printf("%-10d %18s\n", servers, result.failure_summary().c_str());
+      continue;
+    }
+    std::printf("%-10d %15.0f MB %12.2f s\n", servers,
+                static_cast<double>(result.server_peak) / 1e6,
+                result.end_to_end);
+    if (servers == 8) {
+      mem8 = static_cast<double>(result.server_peak);
+      t8 = result.end_to_end;
+    }
+    if (servers == 64) {
+      mem64 = static_cast<double>(result.server_peak);
+      t64 = result.end_to_end;
+    }
+  }
+  if (mem8 > 0 && mem64 > 0) {
+    std::printf("\n8 -> 64 servers: memory/server -%.1f%% (paper: -83.5%%), "
+                "end-to-end %+.1f%% (paper: -5.5%%)\n",
+                100.0 * (mem8 - mem64) / mem8, 100.0 * (t64 - t8) / t8);
+  }
+  return 0;
+}

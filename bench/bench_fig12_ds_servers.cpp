@@ -1,0 +1,58 @@
+// Figure 12: Laplace end-to-end time versus the number of DataSpaces
+// servers, socket transport (Titan).
+//
+// Paper shape reproduced: doubling the servers improves the end-to-end time
+// only modestly (~5.4% per doubling) because computation dominates, while
+// the data-staging portion itself improves much more (up to ~20%).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace imc;
+
+int main() {
+  bench::print_banner("Figure 12",
+                      "end-to-end time vs #DataSpaces servers (sockets)");
+  // Baseline ratio: one server per (32,16); scaled to this run's size.
+  const int nsim = 64, nana = 32;
+  std::printf("\nLaplace at (%d,%d) on titan, socket transport\n", nsim, nana);
+  std::printf("%-10s %14s %18s %18s\n", "servers", "end-to-end",
+              "staging (write)", "staging (read)");
+  double first_e2e = -1, first_staging = -1;
+  double last_e2e = 0, last_staging = 0;
+  for (int servers : {2, 4, 8, 16}) {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLaplace;
+    spec.method = workflow::MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.nsim = nsim;
+    spec.nana = nana;
+    spec.num_servers = servers;
+    spec.steps = 2;
+    spec.transport = workflow::Spec::Transport::kSockets;
+    spec.laplace_rows = 4096;
+    spec.laplace_cols_per_proc = 512;  // 16 MB/proc
+    auto result = workflow::run(spec);
+    if (!result.ok) {
+      std::printf("%-10d %14s\n", servers, result.failure_summary().c_str());
+      continue;
+    }
+    std::printf("%-10d %12.2f s %16.3f s %16.3f s\n", servers,
+                result.end_to_end, result.sim_staging, result.ana_staging);
+    const double staging = result.sim_staging + result.ana_staging;
+    if (first_e2e < 0) {
+      first_e2e = result.end_to_end;
+      first_staging = staging;
+    }
+    last_e2e = result.end_to_end;
+    last_staging = staging;
+  }
+  if (first_e2e > 0) {
+    std::printf("\n2 -> 16 servers: end-to-end -%.1f%%, staging -%.1f%% "
+                "(paper: ~5.4%% per doubling end-to-end, up to 20.1%% on "
+                "staging)\n",
+                100.0 * (first_e2e - last_e2e) / first_e2e,
+                100.0 * (first_staging - last_staging) / first_staging);
+  }
+  return 0;
+}

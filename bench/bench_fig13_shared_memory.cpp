@@ -1,0 +1,111 @@
+// Figure 13: running the workflows in shared-node mode on Cori — analytics
+// (and the staging path) colocated with the simulation.
+//
+// Paper shapes reproduced: shared mode improves Flexpath by ~12.7%/17.0%
+// (LAMMPS/Laplace) and DataSpaces by ~11.0%/8.9%; DataSpaces must fall back
+// to sockets in shared mode (the default DRC policy refuses to share a
+// credential between two jobs on one node); Titan refuses shared mode
+// outright; Decaf cannot run shared without heterogeneous MPI launch.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace imc;
+using workflow::AppSel;
+using workflow::MethodSel;
+
+namespace {
+
+void compare(AppSel app, MethodSel method) {
+  workflow::Spec spec;
+  spec.app = app;
+  spec.method = method;
+  spec.machine = hpc::cori_knl();
+  spec.nsim = 64;
+  spec.nana = 32;
+  spec.steps = 2;
+  // Spread the ranks (16/node) so the shared-node placement has room for
+  // simulation + analytics + staging on each node, align one staging server
+  // with each simulation node, and use the paper's denser output cadence
+  // (its shared-memory experiment is more I/O-bound than the Fig. 2 runs).
+  spec.ranks_per_node = 16;
+  spec.servers_per_node = 1;
+  spec.compute_scale = 0.2;
+  auto separate = workflow::run(spec);
+
+  spec.shared_node_mode = true;
+  // §III-B7: DataSpaces cannot reuse the DRC credential across the two
+  // jobs on a node, so the shared runs use sockets; Flexpath uses the
+  // EVPath shared-memory transport.
+  spec.transport = (method == MethodSel::kFlexpath)
+                       ? workflow::Spec::Transport::kSharedMemory
+                       : workflow::Spec::Transport::kSockets;
+  auto shared = workflow::run(spec);
+
+  std::printf("%-12s %-18s", std::string(to_string(app)).c_str(),
+              std::string(to_string(method)).c_str());
+  if (separate.ok && shared.ok) {
+    std::printf(" %12.2f %12.2f %9.1f%%\n", separate.end_to_end,
+                shared.end_to_end,
+                100.0 * (separate.end_to_end - shared.end_to_end) /
+                    separate.end_to_end);
+  } else {
+    std::printf(" %12s %12s\n",
+                separate.ok ? "ok" : separate.failure_summary().c_str(),
+                shared.ok ? "ok" : shared.failure_summary().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 13", "shared-node mode on Cori");
+  std::printf("\n%-12s %-18s %12s %12s %10s\n", "workflow", "method",
+              "separate (s)", "shared (s)", "gain");
+  compare(AppSel::kLammps, MethodSel::kFlexpath);
+  compare(AppSel::kLaplace, MethodSel::kFlexpath);
+  compare(AppSel::kLammps, MethodSel::kDataspacesNative);
+  compare(AppSel::kLaplace, MethodSel::kDataspacesNative);
+
+  std::printf("\nPolicy gates (§III-B7):\n");
+  {
+    workflow::Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.nsim = 32;
+    spec.nana = 16;
+    spec.shared_node_mode = true;
+    auto result = workflow::run(spec);
+    std::printf("  Titan, shared mode:        %s\n",
+                result.failure_summary().c_str());
+  }
+  {
+    workflow::Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kDecaf;
+    spec.machine = hpc::cori_knl();
+    spec.nsim = 32;
+    spec.nana = 16;
+    spec.shared_node_mode = true;
+    auto result = workflow::run(spec);
+    std::printf("  Decaf on Cori, shared:     %s\n",
+                result.failure_summary().c_str());
+  }
+  {
+    // DRC refuses a second job's credential on a shared node unless
+    // node-insecure is set — the reason DataSpaces ran over sockets.
+    workflow::Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::cori_knl();
+    spec.nsim = 32;
+    spec.nana = 16;
+    spec.shared_node_mode = true;
+    spec.transport = workflow::Spec::Transport::kRdma;
+    auto result = workflow::run(spec);
+    std::printf("  DataSpaces shared w/ RDMA: %s\n",
+                result.failure_summary().c_str());
+  }
+  return 0;
+}

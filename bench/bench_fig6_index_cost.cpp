@@ -1,0 +1,75 @@
+// Figure 6: staging-server memory of the Laplace workflow vs per-processor
+// problem size — the cost of the Hilbert-SFC index.
+//
+// Paper shape reproduced: DataSpaces server memory grows quadratically with
+// the problem size because the SFC index space is a 2^k cube sized by the
+// longest global dimension (at 4096x2048 per proc with 16 procs/server the
+// paper measured ~6 GB/server); DIMES servers stay flat (~154 MB) because
+// the index lives at the clients and the servers hold only metadata.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dataspaces/regions.h"
+
+using namespace imc;
+using workflow::MethodSel;
+
+int main() {
+  bench::print_banner("Figure 6",
+                      "server memory vs problem size (SFC index cost)");
+  // Paper setting: 64 Laplace processors, 16 per DataSpaces server.
+  const int nsim = 64, nana = 32, servers = 4;
+  std::printf("\nLaplace, %d procs, %d DataSpaces servers (16 procs each)\n",
+              nsim, servers);
+  std::printf("%-18s %16s %16s %16s %16s\n", "size/proc", "DS server (GB)",
+              "DS index (GB)", "DS staged (GB)", "DIMES server (GB)");
+
+  for (std::uint64_t cols : {256, 512, 1024, 2048, 4096}) {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLaplace;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::cori_knl();  // 96 GB nodes hold the big index
+    spec.nsim = nsim;
+    spec.nana = nana;
+    spec.num_servers = servers;
+    spec.servers_per_node = 1;
+    spec.steps = 2;
+    spec.laplace_rows = 4096;
+    spec.laplace_cols_per_proc = cols;
+    auto ds = workflow::run(spec);
+
+    spec.method = MethodSel::kDimesNative;
+    spec.num_servers = 4;
+    auto dimes = workflow::run(spec);
+
+    const double mb = static_cast<double>(4096 * cols * 8) / 1e6;
+    std::printf("4096x%-6llu %4.0fMB", static_cast<unsigned long long>(cols),
+                mb);
+    if (ds.ok) {
+      std::printf(" %16.2f %16.2f %16.2f",
+                  static_cast<double>(ds.server_peak) / 1e9,
+                  static_cast<double>(
+                      ds.server_tag_peaks[static_cast<int>(mem::Tag::kIndex)]) /
+                      1e9,
+                  static_cast<double>(ds.server_tag_peaks[static_cast<int>(
+                      mem::Tag::kStaging)]) /
+                      1e9);
+    } else {
+      std::printf(" %16s %16s %16s", ds.failure_summary().c_str(), "-", "-");
+    }
+    if (dimes.ok) {
+      std::printf(" %16.3f\n", static_cast<double>(dimes.server_peak) / 1e9);
+    } else {
+      std::printf(" %16s\n", dimes.failure_summary().c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  // The analytic index model at the paper's exact calibration point.
+  const std::uint64_t calib =
+      dataspaces::index_bytes_per_server({4096, 64ull * 2048}, 4);
+  std::printf("\nSFC model at the paper's data point (4096x2048/proc, 64 "
+              "procs, 4 servers): %.2f GB/server (paper: ~6 GB)\n",
+              static_cast<double>(calib) / 1e9);
+  return 0;
+}

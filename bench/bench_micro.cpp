@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark): throughput of the simulation engine
+// and the hot paths of the library — useful when tuning the simulator
+// itself and as a regression guard for the paper-scale sweeps.
+#include <benchmark/benchmark.h>
+
+#include "common/hilbert.h"
+#include "dataspaces/dataspaces.h"
+#include "hpc/cluster.h"
+#include "ndarray/ndarray.h"
+#include "net/fabric.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+using namespace imc;
+
+namespace {
+
+// Raw event throughput: N processes ping-ponging through the queue.
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.spawn([](sim::Engine& e, int hops) -> sim::Task<> {
+      for (int i = 0; i < hops; ++i) co_await e.sleep(1e-6);
+    }(engine, hops));
+    const std::size_t events = engine.run();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_MailboxRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Queue<int> ping(engine), pong(engine);
+    engine.spawn([](sim::Queue<int>& in, sim::Queue<int>& out) -> sim::Task<> {
+      for (int i = 0; i < 1000; ++i) out.push(co_await in.pop());
+    }(ping, pong));
+    engine.spawn([](sim::Queue<int>& out, sim::Queue<int>& in) -> sim::Task<> {
+      for (int i = 0; i < 1000; ++i) {
+        out.push(i);
+        benchmark::DoNotOptimize(co_await in.pop());
+      }
+    }(ping, pong));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MailboxRoundTrip);
+
+void BM_HilbertDistance(benchmark::State& state) {
+  std::vector<std::uint32_t> point = {12345, 6789};
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    point[0] = (point[0] * 2654435761u) & 0x3ffff;
+    point[1] = (point[1] * 40503u) & 0x3ffff;
+    sum += hilbert_distance(point, 18);
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_HilbertDistance);
+
+void BM_SlabExtract(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  nda::Slab source = nda::Slab::zeros(nda::Box({0, 0}, {n, n}));
+  const nda::Box sub({n / 4, n / 4}, {3 * n / 4, 3 * n / 4});
+  for (auto _ : state) {
+    nda::Slab piece = source.extract(sub);
+    benchmark::DoNotOptimize(piece.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sub.volume() * 8));
+}
+BENCHMARK(BM_SlabExtract)->Arg(64)->Arg(256);
+
+void BM_FabricReserve(benchmark::State& state) {
+  sim::Engine engine;
+  hpc::Cluster cluster(hpc::titan());
+  cluster.allocate_nodes(2);
+  net::Fabric fabric(engine, cluster.config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fabric.reserve_transfer(cluster.node(0), cluster.node(1), 1 << 20));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FabricReserve);
+
+// End-to-end simulated put/get pair through DataSpaces (one writer, one
+// reader, 64 KiB objects) — the per-operation cost that bounds how large a
+// sweep the figure benches can run.
+void BM_DataspacesPutGet(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    hpc::Cluster cluster(hpc::titan());
+    net::Fabric fabric(engine, cluster.config());
+    net::RdmaTransport ugni(engine, fabric, net::TransportKind::kRdmaUgni);
+    dataspaces::Config config;
+    config.num_servers = 1;
+    config.client_base_bytes = 0;
+    config.server_base_bytes = 0;
+    dataspaces::DataSpaces ds(engine, cluster, ugni, config);
+    (void)ds.deploy(cluster.allocate_nodes(1));
+    mem::ProcessMemory memory(engine, "w");
+    dataspaces::DataSpaces::Client client(
+        ds, net::Endpoint{1, 0, &cluster.node(cluster.allocate_nodes(1)[0])},
+        memory);
+    engine.spawn([](dataspaces::DataSpaces::Client& c) -> sim::Task<> {
+      (void)co_await c.init();
+      const nda::Dims dims = {64, 128};
+      for (int v = 0; v < 8; ++v) {
+        nda::VarDesc var{"x", dims, v};
+        nda::Slab slab = nda::Slab::synthetic(nda::Box::whole(dims), 1);
+        (void)co_await c.put(var, slab);
+        (void)co_await c.publish(var);
+        benchmark::DoNotOptimize(co_await c.get(var, nda::Box::whole(dims)));
+      }
+    }(client));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DataspacesPutGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

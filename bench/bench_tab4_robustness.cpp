@@ -1,0 +1,121 @@
+// Table IV: lessons of running in-memory workflows — each robustness issue
+// the paper catalogued, induced live against the implemented systems, with
+// the observed error and the paper's suggested resolve.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace imc;
+using workflow::AppSel;
+using workflow::MethodSel;
+
+namespace {
+
+void report(const char* issue, const std::string& observed,
+            const char* resolve) {
+  std::printf("\nIssue:     %s\n", issue);
+  std::printf("Observed:  %s\n", observed.c_str());
+  std::printf("Resolve:   %s\n", resolve);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Table IV", "robustness failure injection");
+
+  {
+    // Out of RDMA memory: Laplace at 128 MB/proc on Titan, default servers.
+    workflow::Spec spec;
+    spec.app = AppSel::kLaplace;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.nsim = 64;
+    spec.nana = 32;
+    spec.steps = 2;
+    auto result = workflow::run(spec);
+    report("Out of RDMA memory (staged data exhausts the 1843 MiB/node "
+           "registered pool)",
+           result.failure_summary(),
+           "better error handling (wait+retry); an indirection layer that "
+           "checks RDMA budgets in advance");
+  }
+  {
+    // Data dimension overflow: 32-bit dimension arithmetic.
+    workflow::Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.nsim = 16;
+    spec.nana = 8;
+    spec.steps = 1;
+    spec.lammps_atoms_per_proc = 60'000'000;  // 5*16*60e6 > 2^32 elements
+    spec.use_32bit_dims = true;
+    auto result = workflow::run(spec);
+    std::string observed = result.failure_summary();
+    for (const auto& f : result.failures) {
+      if (f.find("DIMENSION_OVERFLOW") != std::string::npos) observed = f;
+    }
+    report("Data dimension overflow (32-bit element counts)", observed,
+           "switch to 64-bit unsigned long int (the fixed build accepts the "
+           "same geometry)");
+  }
+  {
+    // Out of main memory: Decaf's 7x pipeline on Titan's 32 GB nodes.
+    workflow::Spec spec;
+    spec.app = AppSel::kLaplace;
+    spec.method = MethodSel::kDecaf;
+    spec.machine = hpc::titan();
+    spec.nsim = 64;
+    spec.nana = 32;
+    spec.num_servers = 16;  // few dataflow ranks -> big per-rank share
+    spec.steps = 1;
+    spec.laplace_cols_per_proc = 8192;  // 256 MB/proc: 7x share > node DRAM
+    auto result = workflow::run(spec);
+    report("Out of main memory (Decaf's ~7x data-model footprint)",
+           result.failure_summary(),
+           "profile memory to size allocations; free pipeline stages "
+           "eagerly");
+  }
+  {
+    // Out of sockets: many clients per staging node.
+    workflow::Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::titan();
+    spec.machine.socket_descriptors_per_node = 512;  // induced at small scale
+    spec.nsim = 256;
+    spec.nana = 128;
+    spec.steps = 1;
+    spec.transport = workflow::Spec::Transport::kSockets;
+    auto result = workflow::run(spec);
+    report("Out of sockets (descriptors depleted on the staging node; "
+           "cap lowered to 512 to induce at bench scale)",
+           result.failure_summary(),
+           "restructure communication so each reader contacts few "
+           "processors, or pool sockets (at an efficiency cost)");
+  }
+  {
+    // Out of DRC: parallel credential requests overwhelm the service.
+    workflow::Spec spec;
+    spec.app = AppSel::kLammps;
+    spec.method = MethodSel::kDataspacesNative;
+    spec.machine = hpc::cori_knl();
+    spec.machine.drc_capacity = 128;  // induced at bench scale
+    spec.nsim = 256;
+    spec.nana = 128;
+    spec.steps = 1;
+    auto result = workflow::run(spec);
+    report("Out of DRC (credential service overwhelmed at startup; capacity "
+           "lowered to 128 to induce at bench scale — the real service "
+           "fails at the paper's (8192,4096))",
+           result.failure_summary(),
+           "an indirection layer that meters DRC requests, or a distributed "
+           "credential service");
+  }
+
+  std::printf("\nEvery failure surfaces as a typed Status the application "
+              "can observe — unlike the 'ugly crashes' the paper reports, "
+              "but with identical root causes.\n");
+  return 0;
+}

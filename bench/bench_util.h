@@ -1,0 +1,69 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench prints the rows/series of one paper artifact. Default sweeps
+// are sized to finish in seconds on one core; set IMC_FULL_SCALE=1 to run
+// the paper's full processor counts (minutes).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workflow/workflow.h"
+
+namespace imc::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("IMC_FULL_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+// (nsim, nana) ladder from the paper's x-axis (Fig. 2). Default stops at
+// (512, 256); full scale continues to (8192, 4096).
+inline std::vector<std::pair<int, int>> scale_ladder() {
+  std::vector<std::pair<int, int>> scales = {
+      {32, 16}, {64, 32}, {128, 64}, {256, 128}, {512, 256}};
+  if (full_scale()) {
+    scales.push_back({1024, 512});
+    scales.push_back({2048, 1024});
+    scales.push_back({4096, 2048});
+    scales.push_back({8192, 4096});
+  }
+  return scales;
+}
+
+inline const char* header_rule() {
+  return "-----------------------------------------------------------------"
+         "-----------";
+}
+
+inline void print_banner(const char* artifact, const char* description) {
+  std::printf("%s\n", header_rule());
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("(default sweep%s; IMC_FULL_SCALE=1 for the paper's full "
+              "ladder)\n",
+              full_scale() ? " overridden: FULL" : "");
+  std::printf("%s\n", header_rule());
+}
+
+// Formats a run outcome for a table cell: seconds or the failure class.
+inline std::string cell(const workflow::RunResult& result) {
+  if (result.ok) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.2f", result.end_to_end);
+    return buf;
+  }
+  std::string summary = result.failure_summary();
+  // Compress to the error token.
+  for (const char* token :
+       {"OUT_OF_RDMA_MEMORY", "OUT_OF_RDMA_HANDLERS", "OUT_OF_SOCKETS",
+        "OUT_OF_MEMORY", "DRC_OVERLOAD", "DIMENSION_OVERFLOW",
+        "CONNECTION_FAILED", "PERMISSION_DENIED"}) {
+    if (summary.find(token) != std::string::npos) return std::string("  ") + token;
+  }
+  return "    FAILED";
+}
+
+}  // namespace imc::bench

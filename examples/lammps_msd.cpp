@@ -1,0 +1,88 @@
+// The LAMMPS + MSD coupled workflow (Table II) end to end, selectable
+// method and machine:
+//
+//   ./build/examples/lammps_msd [method] [machine]
+//     method:  mpiio | dataspaces | dataspaces-native | dimes |
+//              dimes-native | flexpath | decaf       (default dataspaces)
+//     machine: titan | cori                           (default titan)
+//
+// Runs a scaled-down melt (real Lennard-Jones kernel, 8 simulation ranks, 4
+// analytics ranks) so the MSD printed at the end is computed from real
+// particle positions moving through the staging pipeline.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/units.h"
+#include "workflow/workflow.h"
+
+using namespace imc;
+
+int main(int argc, char** argv) {
+  workflow::Spec spec;
+  spec.app = workflow::AppSel::kLammps;
+  spec.method = workflow::MethodSel::kDataspacesAdios;
+  spec.machine = hpc::titan();
+  spec.nsim = 8;
+  spec.nana = 4;
+  spec.steps = 4;
+  spec.lammps_atoms_per_proc = 4000;  // small enough to materialize
+
+  if (argc > 1) {
+    const std::string m = argv[1];
+    if (m == "mpiio") {
+      spec.method = workflow::MethodSel::kMpiIo;
+    } else if (m == "dataspaces") {
+      spec.method = workflow::MethodSel::kDataspacesAdios;
+    } else if (m == "dataspaces-native") {
+      spec.method = workflow::MethodSel::kDataspacesNative;
+    } else if (m == "dimes") {
+      spec.method = workflow::MethodSel::kDimesAdios;
+    } else if (m == "dimes-native") {
+      spec.method = workflow::MethodSel::kDimesNative;
+    } else if (m == "flexpath") {
+      spec.method = workflow::MethodSel::kFlexpath;
+    } else if (m == "decaf") {
+      spec.method = workflow::MethodSel::kDecaf;
+    } else {
+      std::fprintf(stderr, "unknown method '%s'\n", m.c_str());
+      return 2;
+    }
+  }
+  if (argc > 2 && std::strcmp(argv[2], "cori") == 0) {
+    spec.machine = hpc::cori_knl();
+  }
+
+  std::printf("LAMMPS melt + MSD via %s on %s (%d sim + %d analytics "
+              "ranks, %d steps)\n",
+              std::string(to_string(spec.method)).c_str(),
+              spec.machine.name.c_str(), spec.nsim, spec.nana, spec.steps);
+
+  auto result = workflow::run(spec);
+  if (!result.ok) {
+    std::fprintf(stderr, "workflow failed: %s\n",
+                 result.failure_summary().c_str());
+    return 1;
+  }
+
+  std::printf("  end-to-end:        %s\n",
+              format_time(result.end_to_end).c_str());
+  std::printf("  sim compute/rank:  %s   staging/rank: %s\n",
+              format_time(result.sim_compute).c_str(),
+              format_time(result.sim_staging).c_str());
+  std::printf("  ana compute/rank:  %s   staging/rank: %s\n",
+              format_time(result.ana_compute).c_str(),
+              format_time(result.ana_staging).c_str());
+  std::printf("  sim rank peak mem: %s\n",
+              format_bytes(static_cast<double>(result.sim_rank_peak)).c_str());
+  if (result.server_peak > 0) {
+    std::printf("  staging peak mem:  %s (%d servers)\n",
+                format_bytes(static_cast<double>(result.server_peak)).c_str(),
+                result.servers_used);
+  }
+  std::printf("  MSD after %d coupling steps: %.4f sigma^2\n", spec.steps,
+              result.sample_analysis_value);
+  std::printf("  (positive MSD: the melt is really diffusing through the "
+              "staging pipeline)\n");
+  return 0;
+}

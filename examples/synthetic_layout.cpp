@@ -1,0 +1,86 @@
+// The data-layout experiment (paper §III-B4, Figs. 8 and 9) as a runnable
+// demonstration: the same synthetic workflow staged twice through
+// DataSpaces — once with the application decomposition mismatched against
+// the staging-region layout (N-to-1 convoy), once matched (N-to-N).
+//
+//   ./build/examples/synthetic_layout
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "common/units.h"
+#include "dataspaces/regions.h"
+#include "workflow/workflow.h"
+
+using namespace imc;
+
+namespace {
+
+void print_layout(bool matched, int nprocs, int num_servers) {
+  apps::SyntheticWriter::Params p;
+  p.nprocs = nprocs;
+  p.match_staging_layout = matched;
+  apps::SyntheticWriter writer(p);
+  const nda::Dims global = writer.output_desc(0).global;
+  auto regions = dataspaces::staging_regions(global, num_servers);
+
+  std::printf("  global %s; %zu staging regions along dim %d\n",
+              nda::Box::whole(global).to_string().c_str(), regions.size(),
+              nda::longest_dim(global));
+  // How many staging servers does each writer touch, and in what order?
+  apps::SyntheticWriter::Params q = p;
+  q.rank = 0;
+  apps::SyntheticWriter rank0(q);
+  auto touched = nda::intersecting(regions, rank0.my_box());
+  std::printf("  writer rank 0 touches %zu region(s):", touched.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(touched.size(), 4); ++i) {
+    std::printf(" S%d", dataspaces::server_of_region(touched[i].first,
+                                                     num_servers));
+  }
+  std::printf("%s\n", touched.size() > 4 ? " ..." : "");
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSim = 16, kAna = 8, kServers = 4;
+
+  workflow::Spec spec;
+  spec.app = workflow::AppSel::kSynthetic;
+  spec.method = workflow::MethodSel::kDataspacesNative;
+  spec.machine = hpc::titan();
+  spec.nsim = kSim;
+  spec.nana = kAna;
+  spec.num_servers = kServers;
+  spec.steps = 3;
+  spec.synthetic_elements_per_proc = 2'560'000;  // 20 MB per rank
+
+  std::printf("== Mismatched layout (the paper's default: app splits dim 1, "
+              "DataSpaces splits dim 2) ==\n");
+  print_layout(false, kSim, kServers);
+  spec.synthetic_match_layout = false;
+  auto mismatched = workflow::run(spec);
+  if (!mismatched.ok) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 mismatched.failure_summary().c_str());
+    return 1;
+  }
+  std::printf("  staging time per writer: %s\n\n",
+              format_time(mismatched.sim_staging).c_str());
+
+  std::printf("== Matched layout (app decomposes the dimension DataSpaces "
+              "cuts) ==\n");
+  print_layout(true, kSim, kServers);
+  spec.synthetic_match_layout = true;
+  auto matched = workflow::run(spec);
+  if (!matched.ok) {
+    std::fprintf(stderr, "run failed: %s\n", matched.failure_summary().c_str());
+    return 1;
+  }
+  std::printf("  staging time per writer: %s\n\n",
+              format_time(matched.sim_staging).c_str());
+
+  std::printf("Matching the decomposition improves staging by %.1fx "
+              "(paper reports up to 5.3x at scale).\n",
+              mismatched.sim_staging / matched.sim_staging);
+  return 0;
+}

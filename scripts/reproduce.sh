@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every table
+# and figure of the paper. Set IMC_FULL_SCALE=1 for the paper's complete
+# processor ladders (adds tens of minutes on one core).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/bench_*; do
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in quickstart lammps_msd laplace_mta synthetic_layout hardened_staging; do
+  echo "--- $e ---"
+  "./build/examples/$e"
+done

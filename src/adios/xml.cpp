@@ -1,0 +1,169 @@
+#include "adios/xml.h"
+
+#include <cctype>
+
+namespace imc::adios {
+
+const XmlNode* XmlNode::child(const std::string& name) const {
+  for (const auto& c : children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    const std::string& name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::attr(const std::string& key,
+                          const std::string& fallback) const {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<XmlNode> parse() {
+    skip_noise();
+    auto root = parse_element();
+    if (!root.has_value()) return root;
+    skip_noise();
+    if (pos_ != text_.size()) {
+      return fail("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "XML parse error at offset " + std::to_string(pos_) +
+                          ": " + what);
+  }
+  Result<XmlNode> fail(const std::string& what) const { return error(what); }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (!at_end() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_str(const std::string& s) {
+    if (text_.compare(pos_, s.size(), s) == 0) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+  }
+
+  // Whitespace, text content, comments and processing instructions.
+  void skip_noise() {
+    for (;;) {
+      skip_ws();
+      if (consume_str("<!--")) {
+        const auto end = text_.find("-->", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (consume_str("<?")) {
+        const auto end = text_.find("?>", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 2;
+        continue;
+      }
+      // Text content before the next tag is ignored.
+      if (!at_end() && peek() != '<') {
+        const auto next = text_.find('<', pos_);
+        pos_ = next == std::string::npos ? text_.size() : next;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string parse_name() {
+    std::string out;
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_' || c == ':' || c == '.') {
+        out.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<XmlNode> parse_element() {
+    if (!consume('<')) return fail("expected '<'");
+    XmlNode node;
+    node.name = parse_name();
+    if (node.name.empty()) return fail("expected element name");
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (consume_str("/>")) return node;  // self-closing
+      if (consume('>')) break;
+      const std::string key = parse_name();
+      if (key.empty()) return fail("expected attribute name");
+      skip_ws();
+      if (!consume('=')) return fail("expected '=' after attribute name");
+      skip_ws();
+      if (!consume('"')) return fail("expected '\"'");
+      const auto end = text_.find('"', pos_);
+      if (end == std::string::npos) return fail("unterminated attribute");
+      node.attrs[key] = text_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+    }
+
+    // Children until the closing tag.
+    for (;;) {
+      skip_noise();
+      if (at_end()) return fail("unexpected end inside <" + node.name + ">");
+      if (consume_str("</")) {
+        const std::string closing = parse_name();
+        if (closing != node.name) {
+          return fail("mismatched closing tag </" + closing + "> for <" +
+                      node.name + ">");
+        }
+        skip_ws();
+        if (!consume('>')) return fail("expected '>' in closing tag");
+        return node;
+      }
+      auto child = parse_element();
+      if (!child.has_value()) return child;
+      node.children.push_back(std::move(*child));
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlNode> parse_xml(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace imc::adios

@@ -1,0 +1,32 @@
+// Minimal XML parser for the ADIOS 1.x configuration format.
+//
+// Supports exactly what adios_config files use: nested elements,
+// double-quoted attributes, self-closing tags, comments, and text content
+// (ignored). Not a general XML parser by design.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace imc::adios {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  std::vector<XmlNode> children;
+
+  // First child with the given element name, or nullptr.
+  const XmlNode* child(const std::string& name) const;
+  // All children with the given element name.
+  std::vector<const XmlNode*> children_named(const std::string& name) const;
+  // Attribute value, or fallback.
+  std::string attr(const std::string& key, const std::string& fallback = "") const;
+};
+
+// Parses a document with a single root element.
+Result<XmlNode> parse_xml(const std::string& text);
+
+}  // namespace imc::adios

@@ -1,0 +1,178 @@
+#include "apps/apps.h"
+
+#include <cassert>
+
+namespace imc::apps {
+namespace {
+
+// Calibrated Titan-reference compute costs (see apps.h header comment).
+constexpr double kLammpsSecondsPerStep = 2.0;
+constexpr double kLaplaceSecondsPerStepAt4096 = 8.0;
+constexpr double kMsdSecondsPerMiB = 0.02;   // ~0.8 s over two 20 MB slabs
+constexpr double kMtaSecondsPerMiB = 0.016;  // ~4 s over two 128 MB slabs
+
+}  // namespace
+
+// ------------------------------------------------------------- LAMMPS -----
+
+LammpsSim::LammpsSim(Params params)
+    : params_(params),
+      kernel_(LjMelt::Params{params.kernel_atoms, 0.8442, 3.0, 0.005, 2.5,
+                             params.seed + static_cast<std::uint64_t>(
+                                               params.rank)}) {}
+
+void LammpsSim::advance() { kernel_.step(params_.md_steps_per_output); }
+
+nda::VarDesc LammpsSim::output_desc(int version) const {
+  return nda::VarDesc{
+      "atoms",
+      {5, static_cast<std::uint64_t>(params_.nprocs), params_.atoms_per_proc},
+      version};
+}
+
+nda::Box LammpsSim::my_box() const {
+  const auto rank = static_cast<std::uint64_t>(params_.rank);
+  return nda::Box({0, rank, 0}, {5, rank + 1, params_.atoms_per_proc});
+}
+
+nda::Slab LammpsSim::output(int version) const {
+  const nda::Box box = my_box();
+  if (box.volume() > kMaterializeCapElems) {
+    return nda::Slab::synthetic(box, params_.seed);
+  }
+  // Materialize by tiling the kernel's atoms over the declared atom count.
+  nda::Slab slab = nda::Slab::zeros(box);
+  const auto& pos = kernel_.positions();
+  const auto& vel = kernel_.velocities();
+  const int n = kernel_.natoms();
+  const auto rank = static_cast<std::uint64_t>(params_.rank);
+  for (std::uint64_t atom = 0; atom < params_.atoms_per_proc; ++atom) {
+    const int k = static_cast<int>(atom % static_cast<std::uint64_t>(n));
+    const double values[5] = {pos[static_cast<std::size_t>(3 * k)],
+                              pos[static_cast<std::size_t>(3 * k + 1)],
+                              pos[static_cast<std::size_t>(3 * k + 2)],
+                              vel[static_cast<std::size_t>(3 * k)],
+                              vel[static_cast<std::size_t>(3 * k + 1)]};
+    for (std::uint64_t property = 0; property < 5; ++property) {
+      slab.set({property, rank, atom}, values[property]);
+    }
+  }
+  (void)version;
+  return slab;
+}
+
+double LammpsSim::titan_seconds_per_step() const {
+  // Weak scaling: cost tracks the per-rank atom count.
+  const double size_factor =
+      static_cast<double>(params_.atoms_per_proc) / 512000.0;
+  // Small deterministic per-rank jitter so collectives see realistic skew.
+  Rng rng(params_.seed * 131 + static_cast<std::uint64_t>(params_.rank));
+  return kLammpsSecondsPerStep * size_factor * rng.uniform(0.98, 1.02);
+}
+
+double msd_titan_seconds_per_step(std::uint64_t bytes_processed) {
+  return kMsdSecondsPerMiB * static_cast<double>(bytes_processed) /
+         static_cast<double>(kMiB);
+}
+
+// ------------------------------------------------------------ Laplace -----
+
+LaplaceSim::LaplaceSim(Params params)
+    : params_(params),
+      kernel_(JacobiLaplace::Params{params.kernel_n, params.kernel_n, 100.0}) {
+}
+
+void LaplaceSim::advance() { kernel_.sweep(params_.sweeps_per_output); }
+
+nda::VarDesc LaplaceSim::output_desc(int version) const {
+  return nda::VarDesc{
+      "field",
+      {params_.rows,
+       static_cast<std::uint64_t>(params_.nprocs) * params_.cols_per_proc},
+      version};
+}
+
+nda::Box LaplaceSim::my_box() const {
+  const auto rank = static_cast<std::uint64_t>(params_.rank);
+  return nda::Box({0, rank * params_.cols_per_proc},
+                  {params_.rows, (rank + 1) * params_.cols_per_proc});
+}
+
+nda::Slab LaplaceSim::output(int version) const {
+  const nda::Box box = my_box();
+  if (box.volume() > kMaterializeCapElems) {
+    return nda::Slab::synthetic(box, params_.seed);
+  }
+  nda::Slab slab = nda::Slab::zeros(box);
+  const int kn = kernel_.nx();
+  for (std::uint64_t i = box.lb[0]; i < box.ub[0]; ++i) {
+    for (std::uint64_t j = box.lb[1]; j < box.ub[1]; ++j) {
+      slab.set({i, j},
+               kernel_.at(static_cast<int>(i % static_cast<std::uint64_t>(kn)),
+                          static_cast<int>(j % static_cast<std::uint64_t>(kn))));
+    }
+  }
+  (void)version;
+  return slab;
+}
+
+double LaplaceSim::titan_seconds_per_step() const {
+  const double elements =
+      static_cast<double>(params_.rows * params_.cols_per_proc);
+  const double size_factor = elements / (4096.0 * 4096.0);
+  Rng rng(params_.seed * 151 + static_cast<std::uint64_t>(params_.rank));
+  return kLaplaceSecondsPerStepAt4096 * size_factor * rng.uniform(0.98, 1.02);
+}
+
+double mta_titan_seconds_per_step(std::uint64_t bytes_processed) {
+  return kMtaSecondsPerMiB * static_cast<double>(bytes_processed) /
+         static_cast<double>(kMiB);
+}
+
+// ---------------------------------------------------------- Synthetic -----
+
+SyntheticWriter::SyntheticWriter(Params params) : params_(params) {
+  const auto n = static_cast<std::uint64_t>(params_.nprocs);
+  if (params_.match_staging_layout) {
+    // 5 x 512 x (per-proc x nprocs): ranks and DataSpaces both split the
+    // last (longest) dimension.
+    const std::uint64_t per_rank = params_.elements_per_proc / (5 * 512);
+    global_ = {5, 512, per_rank * n};
+  } else {
+    // 5 x nprocs x per-atom: ranks split dimension 1 while DataSpaces
+    // splits the longest dimension 2 (the paper's mismatched default).
+    global_ = {5, n, params_.elements_per_proc / 5};
+  }
+}
+
+nda::VarDesc SyntheticWriter::output_desc(int version) const {
+  return nda::VarDesc{"synthetic", global_, version};
+}
+
+nda::Box SyntheticWriter::my_box() const {
+  const auto rank = static_cast<std::uint64_t>(params_.rank);
+  nda::Box box = nda::Box::whole(global_);
+  if (params_.match_staging_layout) {
+    const std::uint64_t share =
+        global_[2] / static_cast<std::uint64_t>(params_.nprocs);
+    box.lb[2] = rank * share;
+    box.ub[2] = (rank + 1) * share;
+  } else {
+    box.lb[1] = rank;
+    box.ub[1] = rank + 1;
+  }
+  return box;
+}
+
+nda::Slab SyntheticWriter::output(int version) const {
+  (void)version;
+  const nda::Box box = my_box();
+  if (box.volume() > kMaterializeCapElems) {
+    return nda::Slab::synthetic(box, params_.seed);
+  }
+  nda::Slab slab = nda::Slab::zeros(box);
+  slab.fill_from(nda::Slab::synthetic(box, params_.seed));
+  return slab;
+}
+
+}  // namespace imc::apps

@@ -1,0 +1,145 @@
+// The three workflows of Table II, wrapped for the staging study: output
+// geometry, per-rank slabs, compute-time models, and (for LAMMPS/Laplace)
+// the real micro-kernel behind the data.
+//
+// Compute-time calibration. The paper's figures are images, so absolute
+// times are calibrated to the magnitudes its text implies (both workflows
+// finish in minutes; Laplace+MTA is compute-heavy; Cori compute runs
+// 1/0.636x longer than Titan). The constants below are per coupling step
+// per rank on the Titan reference core and are scaled by
+// MachineConfig::cpu_speed by the workflow harness. Shapes — who wins,
+// where the crossovers are — do not depend on these absolutes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/kernels.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "ndarray/ndarray.h"
+
+namespace imc::apps {
+
+// Content cap: per-rank slabs at most this many elements are materialized
+// from the real kernel; larger (paper-scale) slabs are synthetic.
+inline constexpr std::uint64_t kMaterializeCapElems = 1ull << 18;
+
+// ------------------------------------------------------------- LAMMPS -----
+
+// LAMMPS melt producing 5 x nprocs x 512000 doubles per step (Table II),
+// i.e. 20 MB per rank at the default size. Axis 0 holds x,y,z,vx,vy (the
+// five per-atom properties staged).
+class LammpsSim {
+ public:
+  struct Params {
+    int rank = 0;
+    int nprocs = 1;
+    std::uint64_t atoms_per_proc = 512000;  // 20 MB/rank with 5 properties
+    int kernel_atoms = 256;                 // real micro-MD size
+    int md_steps_per_output = 5;
+    std::uint64_t seed = 7;
+  };
+
+  explicit LammpsSim(Params params);
+
+  // One coupling step of the real micro-kernel.
+  void advance();
+
+  nda::VarDesc output_desc(int version) const;
+  nda::Box my_box() const;  // [0..5, rank..rank+1, 0..atoms_per_proc)
+  // The rank's output slab for the current state: materialized by tiling
+  // the kernel's atoms when small enough, else synthetic.
+  nda::Slab output(int version) const;
+
+  // Per-rank application state (the paper's Fig. 5: ~173 MB of numerical
+  // calculation per LAMMPS rank).
+  std::uint64_t state_bytes() const { return 173 * kMiB; }
+
+  // Calibrated compute model (Titan reference seconds per coupling step).
+  double titan_seconds_per_step() const;
+
+  const LjMelt& kernel() const { return kernel_; }
+
+ private:
+  Params params_;
+  LjMelt kernel_;
+};
+
+// Reference MSD analytics cost (per analytics rank per step, Titan).
+double msd_titan_seconds_per_step(std::uint64_t bytes_processed);
+
+// ------------------------------------------------------------ Laplace -----
+
+// Laplace solver producing a 2-D global field of 4096 x (nprocs * cols)
+// doubles, `cols` columns per rank (Table II: 4096 x nprocs x 4096 at the
+// default 128 MB/rank; Fig. 3 sweeps 256^2 .. 4096^2 per rank).
+class LaplaceSim {
+ public:
+  struct Params {
+    int rank = 0;
+    int nprocs = 1;
+    std::uint64_t rows = 4096;
+    std::uint64_t cols_per_proc = 4096;  // 128 MB/rank at 4096 rows
+    int kernel_n = 48;                   // real micro-grid
+    int sweeps_per_output = 4;
+    std::uint64_t seed = 11;
+  };
+
+  explicit LaplaceSim(Params params);
+
+  void advance();
+
+  nda::VarDesc output_desc(int version) const;
+  nda::Box my_box() const;  // [0..rows, rank*cols..(rank+1)*cols)
+  nda::Slab output(int version) const;
+
+  std::uint64_t state_bytes() const {
+    // Two grids (current + next) of the declared per-rank size.
+    return 2 * params_.rows * params_.cols_per_proc * sizeof(double);
+  }
+
+  double titan_seconds_per_step() const;
+
+  const JacobiLaplace& kernel() const { return kernel_; }
+
+ private:
+  Params params_;
+  JacobiLaplace kernel_;
+};
+
+// Reference MTA analytics cost (per analytics rank per step, Titan).
+double mta_titan_seconds_per_step(std::uint64_t bytes_processed);
+
+// ---------------------------------------------------------- Synthetic -----
+
+// The configurable MPI writer/reader of Table II, used for the data-layout
+// experiments (Figs. 8 and 9): a 3-D array whose decomposition dimension is
+// selectable so the writer layout can be made to match — or mismatch — the
+// staging layout.
+class SyntheticWriter {
+ public:
+  struct Params {
+    int rank = 0;
+    int nprocs = 1;
+    // Mismatched (paper default, Fig. 9 "5 x nprocs x 512000"): ranks split
+    // dimension 1, DataSpaces splits dimension 2.
+    // Matched ("5 x 512 x (1000 x nprocs)"): ranks split dimension 2, the
+    // same dimension DataSpaces splits.
+    bool match_staging_layout = false;
+    std::uint64_t elements_per_proc = 2'560'000;  // 20 MB
+    std::uint64_t seed = 23;
+  };
+
+  explicit SyntheticWriter(Params params);
+
+  nda::VarDesc output_desc(int version) const;
+  nda::Box my_box() const;
+  nda::Slab output(int version) const;
+
+ private:
+  Params params_;
+  nda::Dims global_;
+};
+
+}  // namespace imc::apps

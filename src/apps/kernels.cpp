@@ -1,0 +1,163 @@
+#include "apps/kernels.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace imc::apps {
+
+LjMelt::LjMelt(Params params) : params_(params) {
+  // Build the largest FCC lattice with <= natoms atoms: 4 atoms per cell.
+  int cells = 1;
+  while (4 * (cells + 1) * (cells + 1) * (cells + 1) <=
+         params_.natoms) {
+    ++cells;
+  }
+  natoms_ = 4 * cells * cells * cells;
+  side_ = std::cbrt(static_cast<double>(natoms_) / params_.density);
+  const double a = side_ / cells;
+
+  pos_.resize(static_cast<std::size_t>(3 * natoms_));
+  vel_.resize(static_cast<std::size_t>(3 * natoms_));
+  force_.resize(static_cast<std::size_t>(3 * natoms_));
+
+  static constexpr double kBasis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  int atom = 0;
+  for (int i = 0; i < cells; ++i) {
+    for (int j = 0; j < cells; ++j) {
+      for (int k = 0; k < cells; ++k) {
+        for (const auto& b : kBasis) {
+          pos_[static_cast<std::size_t>(3 * atom + 0)] = (i + b[0]) * a;
+          pos_[static_cast<std::size_t>(3 * atom + 1)] = (j + b[1]) * a;
+          pos_[static_cast<std::size_t>(3 * atom + 2)] = (k + b[2]) * a;
+          ++atom;
+        }
+      }
+    }
+  }
+
+  // Maxwell-ish velocities at the target temperature, zero net momentum.
+  Rng rng(params_.seed);
+  double mean[3] = {0, 0, 0};
+  for (int i = 0; i < natoms_; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const double v = rng.uniform(-1.0, 1.0);
+      vel_[static_cast<std::size_t>(3 * i + d)] = v;
+      mean[d] += v;
+    }
+  }
+  for (int d = 0; d < 3; ++d) mean[d] /= natoms_;
+  double ke = 0;
+  for (int i = 0; i < natoms_; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto& v = vel_[static_cast<std::size_t>(3 * i + d)];
+      v -= mean[d];
+      ke += v * v;
+    }
+  }
+  const double current_t = ke / (3.0 * natoms_);
+  const double scale = std::sqrt(params_.temperature / current_t);
+  for (auto& v : vel_) v *= scale;
+
+  compute_forces();
+}
+
+double LjMelt::min_image(double d) const {
+  if (d > 0.5 * side_) return d - side_;
+  if (d < -0.5 * side_) return d + side_;
+  return d;
+}
+
+void LjMelt::compute_forces() {
+  std::fill(force_.begin(), force_.end(), 0.0);
+  potential_ = 0;
+  const double rc2 = params_.cutoff * params_.cutoff;
+  for (int i = 0; i < natoms_; ++i) {
+    for (int j = i + 1; j < natoms_; ++j) {
+      double d[3], r2 = 0;
+      for (int k = 0; k < 3; ++k) {
+        d[k] = min_image(pos_[static_cast<std::size_t>(3 * i + k)] -
+                         pos_[static_cast<std::size_t>(3 * j + k)]);
+        r2 += d[k] * d[k];
+      }
+      if (r2 >= rc2 || r2 == 0) continue;
+      const double inv2 = 1.0 / r2;
+      const double inv6 = inv2 * inv2 * inv2;
+      const double f = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+      potential_ += 4.0 * inv6 * (inv6 - 1.0);
+      for (int k = 0; k < 3; ++k) {
+        force_[static_cast<std::size_t>(3 * i + k)] += f * d[k];
+        force_[static_cast<std::size_t>(3 * j + k)] -= f * d[k];
+      }
+    }
+  }
+}
+
+void LjMelt::step(int n) {
+  const double dt = params_.dt;
+  for (int it = 0; it < n; ++it) {
+    for (int i = 0; i < 3 * natoms_; ++i) {
+      vel_[static_cast<std::size_t>(i)] +=
+          0.5 * dt * force_[static_cast<std::size_t>(i)];
+      pos_[static_cast<std::size_t>(i)] +=
+          dt * vel_[static_cast<std::size_t>(i)];
+      // Wrap into the periodic box.
+      auto& x = pos_[static_cast<std::size_t>(i)];
+      if (x < 0) x += side_;
+      if (x >= side_) x -= side_;
+    }
+    compute_forces();
+    for (int i = 0; i < 3 * natoms_; ++i) {
+      vel_[static_cast<std::size_t>(i)] +=
+          0.5 * dt * force_[static_cast<std::size_t>(i)];
+    }
+    ++steps_;
+  }
+}
+
+double LjMelt::kinetic_energy() const {
+  double ke = 0;
+  for (double v : vel_) ke += v * v;
+  return 0.5 * ke;
+}
+
+double LjMelt::potential_energy() const { return potential_; }
+
+double LjMelt::temperature() const {
+  return 2.0 * kinetic_energy() / (3.0 * natoms_);
+}
+
+JacobiLaplace::JacobiLaplace(Params params) : params_(params) {
+  const std::size_t n =
+      static_cast<std::size_t>(params_.nx) * static_cast<std::size_t>(params_.ny);
+  grid_.assign(n, 0.0);
+  next_.assign(n, 0.0);
+  // Hot top edge (i == 0).
+  for (int j = 0; j < params_.ny; ++j) {
+    grid_[static_cast<std::size_t>(j)] = params_.hot_boundary;
+    next_[static_cast<std::size_t>(j)] = params_.hot_boundary;
+  }
+}
+
+double JacobiLaplace::sweep(int iters) {
+  const int nx = params_.nx, ny = params_.ny;
+  double max_delta = 0;
+  for (int it = 0; it < iters; ++it) {
+    max_delta = 0;
+    for (int i = 1; i < nx - 1; ++i) {
+      for (int j = 1; j < ny - 1; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i * ny + j);
+        const double v = 0.25 * (grid_[idx - 1] + grid_[idx + 1] +
+                                 grid_[idx - static_cast<std::size_t>(ny)] +
+                                 grid_[idx + static_cast<std::size_t>(ny)]);
+        max_delta = std::max(max_delta, std::abs(v - grid_[idx]));
+        next_[idx] = v;
+      }
+    }
+    std::swap(grid_, next_);
+    ++sweeps_;
+  }
+  return max_delta;
+}
+
+}  // namespace imc::apps

@@ -1,0 +1,95 @@
+#include "common/hilbert.h"
+
+#include <cassert>
+
+namespace imc {
+namespace {
+
+// Skilling's algorithm operates on the "transpose" representation of the
+// Hilbert distance: bit j of transpose[i] is bit (j*dims + i) of the
+// distance, counted from the most significant end.
+
+// Gray-decode + undo excess work: transpose -> axes (in place).
+void transpose_to_axes(std::vector<std::uint32_t>& x, int bits) {
+  const int n = static_cast<int>(x.size());
+  std::uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  for (std::uint32_t q = 2; q != (1u << bits); q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+// axes -> transpose (in place).
+void axes_to_transpose(std::vector<std::uint32_t>& x, int bits) {
+  const int n = static_cast<int>(x.size());
+  for (std::uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+}  // namespace
+
+int hilbert_order_for_extent(std::uint64_t extent) {
+  int k = 0;
+  while ((1ull << k) < extent) ++k;
+  return k;
+}
+
+std::uint64_t hilbert_distance(const std::vector<std::uint32_t>& coords,
+                               int bits) {
+  const int dims = static_cast<int>(coords.size());
+  assert(bits >= 1 && dims >= 1 && dims * bits <= 64);
+  std::vector<std::uint32_t> x = coords;
+  axes_to_transpose(x, bits);
+  // Interleave: bit b of axis i becomes bit (b*dims + (dims-1-i)) of the key.
+  std::uint64_t d = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      d = (d << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> hilbert_point(std::uint64_t distance, int dims,
+                                         int bits) {
+  assert(bits >= 1 && dims >= 1 && dims * bits <= 64);
+  std::vector<std::uint32_t> x(dims, 0);
+  // De-interleave into transpose form.
+  int bit = dims * bits - 1;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      x[i] |= static_cast<std::uint32_t>((distance >> bit) & 1ull) << b;
+      --bit;
+    }
+  }
+  transpose_to_axes(x, bits);
+  return x;
+}
+
+}  // namespace imc

@@ -1,0 +1,32 @@
+// N-dimensional Hilbert space-filling curve (SFC).
+//
+// DataSpaces indexes the staged data space with a Hilbert SFC (paper
+// §III-B3): the index space is an n-cube with each side 2^k, where k is the
+// smallest integer such that 2^k is >= the longest global dimension. This
+// file provides the curve itself (coordinate <-> distance mapping) using
+// John Skilling's transpose algorithm ("Programming the Hilbert curve",
+// AIP Conf. Proc. 707, 2004), which works for any dimension count and any
+// per-dimension bit width with d*b <= 64 for a single-word distance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace imc {
+
+// Smallest k such that (1 << k) >= extent (the paper's "2^k greater than the
+// size of the longest dimension"; >= is used so exact powers of two do not
+// double the index space).
+int hilbert_order_for_extent(std::uint64_t extent);
+
+// Maps a point in a d-dimensional 2^bits-cube to its 1-D Hilbert distance.
+// Requires coords.size() * bits <= 64 and every coordinate < (1<<bits).
+std::uint64_t hilbert_distance(const std::vector<std::uint32_t>& coords,
+                               int bits);
+
+// Inverse of hilbert_distance.
+std::vector<std::uint32_t> hilbert_point(std::uint64_t distance, int dims,
+                                         int bits);
+
+}  // namespace imc

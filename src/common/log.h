@@ -1,0 +1,46 @@
+// Minimal leveled logger. Benches run with logging off by default; tests can
+// raise the level to debug a failing scenario.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace imc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace imc
+
+#define IMC_LOG(level)                      \
+  if (::imc::log_level() <= (level))        \
+  ::imc::detail::LogLine(level)
+
+#define IMC_DEBUG() IMC_LOG(::imc::LogLevel::kDebug)
+#define IMC_INFO() IMC_LOG(::imc::LogLevel::kInfo)
+#define IMC_WARN() IMC_LOG(::imc::LogLevel::kWarn)
+#define IMC_ERROR() IMC_LOG(::imc::LogLevel::kError)

@@ -1,0 +1,66 @@
+// Deterministic random-number generation (SplitMix64 + xoshiro256**).
+//
+// Every simulated run must be reproducible byte-for-byte, so all stochastic
+// choices (noise on compute times, synthetic data content) come from
+// explicitly seeded generators — never std::rand or random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace imc {
+
+// SplitMix64: used for seeding and for hashing indices into payload values.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna — small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1234abcd) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace imc

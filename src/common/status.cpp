@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+namespace imc {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kOutOfRdmaMemory:
+      return "OUT_OF_RDMA_MEMORY";
+    case ErrorCode::kOutOfRdmaHandlers:
+      return "OUT_OF_RDMA_HANDLERS";
+    case ErrorCode::kOutOfSockets:
+      return "OUT_OF_SOCKETS";
+    case ErrorCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case ErrorCode::kDrcOverload:
+      return "DRC_OVERLOAD";
+    case ErrorCode::kDimensionOverflow:
+      return "DIMENSION_OVERFLOW";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::kConnectionFailed:
+      return "CONNECTION_FAILED";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out(imc::to_string(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+}  // namespace imc

@@ -1,0 +1,112 @@
+// Status / Result error-handling vocabulary used across the imc libraries.
+//
+// The paper's robustness study (Table IV) is about *which* resource runs out
+// and how the failure surfaces to the application. We therefore use explicit
+// error codes for every failure mode the paper reports, and library APIs
+// return Status / Result<T> rather than aborting, so the workflow harness and
+// the failure-injection tests can observe and classify them.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace imc {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  // Resource exhaustion (Table IV rows).
+  kOutOfRdmaMemory,    // uGNI registered-memory capacity exceeded
+  kOutOfRdmaHandlers,  // uGNI memory-handler count exceeded
+  kOutOfSockets,       // TCP socket descriptors depleted on a node
+  kOutOfMemory,        // node DRAM exhausted
+  kDrcOverload,        // DRC credential service overwhelmed
+  kDimensionOverflow,  // 32-bit dimension arithmetic overflowed
+  // Generic library errors.
+  kNotFound,
+  kInvalidArgument,
+  kUnsupported,
+  kConnectionFailed,
+  kTimeout,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kInternal,
+};
+
+std::string_view to_string(ErrorCode code);
+
+// A cheap, copyable status: code + optional human-readable context.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message = {}) {
+  return Status(code, std::move(message));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T>: either a value or an error Status. A minimal std::expected
+// stand-in (libstdc++ 12 does not ship <expected>).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {
+    // An OK status carries no value; normalize to an internal error so that
+    // callers can rely on has_value() == status().is_ok().
+    if (std::get<Status>(data_).is_ok()) {
+      data_ = Status(ErrorCode::kInternal, "Result constructed from OK status");
+    }
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  Status status() const {
+    return has_value() ? Status::ok() : std::get<Status>(data_);
+  }
+  ErrorCode code() const { return status().code(); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace imc

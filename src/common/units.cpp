@@ -1,0 +1,47 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace imc {
+namespace {
+
+std::string format_with_suffix(double value, const char* const* suffixes,
+                               int count, double base) {
+  int idx = 0;
+  double v = value;
+  while (v >= base && idx + 1 < count) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return format_with_suffix(bytes, kSuffixes, 5, 1024.0);
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  static constexpr const char* kSuffixes[] = {"B/s", "KB/s", "MB/s", "GB/s",
+                                              "TB/s"};
+  return format_with_suffix(bytes_per_sec, kSuffixes, 5, 1000.0);
+}
+
+std::string format_time(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace imc

@@ -1,0 +1,26 @@
+// Byte-size and time units used throughout the study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace imc {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+// Network vendors quote decimal GB/s (the paper's 5.5 GB/s and 15.6 GB/s
+// injection bandwidths are decimal); keep both spellings available.
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+// "1.5 GB/s" style formatting for report output.
+std::string format_bytes(double bytes);
+std::string format_bandwidth(double bytes_per_sec);
+std::string format_time(double seconds);
+
+}  // namespace imc

@@ -1,0 +1,470 @@
+#include "dataspaces/dataspaces.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "net/fabric.h"
+
+namespace imc::dataspaces {
+
+DataSpaces::DataSpaces(sim::Engine& engine, hpc::Cluster& cluster,
+                       net::Transport& transport, Config config)
+    : engine_(&engine),
+      cluster_(&cluster),
+      transport_(&transport),
+      config_(std::move(config)),
+      locks_(engine, config_.lock_type) {}
+
+DataSpaces::~DataSpaces() = default;
+
+Status DataSpaces::deploy(const std::vector<int>& staging_node_ids) {
+  if (staging_node_ids.empty() || config_.num_servers <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "deploy requires staging nodes and num_servers > 0");
+  }
+  for (int s = 0; s < config_.num_servers; ++s) {
+    auto server = std::make_unique<Server>();
+    server->id = s;
+    const int node_id =
+        staging_node_ids[static_cast<std::size_t>(s / config_.servers_per_node) %
+                         staging_node_ids.size()];
+    hpc::Node& node = cluster_->node(node_id);
+    server->endpoint = net::Endpoint{next_pid_++, /*job=*/2, &node};
+    server->memory = std::make_unique<mem::ProcessMemory>(
+        *engine_, "ds-server-" + std::to_string(s), &node.memory());
+    server->queue = std::make_unique<sim::Queue<Request>>(*engine_);
+    // DART base pool (communication buffers, descriptor tables).
+    if (Status st = server->memory->allocate(mem::Tag::kLibrary,
+                                             config_.server_base_bytes);
+        !st.is_ok()) {
+      return st;
+    }
+    servers_.push_back(std::move(server));
+  }
+  for (auto& server : servers_) {
+    engine_->spawn(server_loop(*server));
+  }
+  return Status::ok();
+}
+
+void DataSpaces::shutdown() {
+  for (auto& server : servers_) server->queue->push(Shutdown{});
+}
+
+net::Endpoint DataSpaces::server_endpoint(int s) const {
+  return servers_.at(static_cast<std::size_t>(s))->endpoint;
+}
+
+mem::ProcessMemory& DataSpaces::server_memory(int s) {
+  return *servers_.at(static_cast<std::size_t>(s))->memory;
+}
+
+const DataSpaces::ServerStats& DataSpaces::server_stats(int s) const {
+  return servers_.at(static_cast<std::size_t>(s))->stats;
+}
+
+std::uint64_t DataSpaces::total_staged_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->stats.staged_bytes;
+  return total;
+}
+
+std::uint64_t DataSpaces::total_index_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->stats.index_bytes;
+  return total;
+}
+
+const std::vector<nda::Box>& DataSpaces::regions_of(const nda::VarDesc& var) {
+  auto it = region_cache_.find(var.name);
+  if (it == region_cache_.end()) {
+    it = region_cache_
+             .emplace(var.name, staging_regions(var.global, num_servers()))
+             .first;
+  }
+  return it->second;
+}
+
+// ------------------------------------------------------------- server -----
+
+sim::Task<> DataSpaces::server_loop(Server& server) {
+  for (;;) {
+    Request request = co_await server.queue->pop();
+    if (std::holds_alternative<Shutdown>(request)) break;
+    // Serialized per-request service on the single-threaded server.
+    co_await engine_->sleep(kServerServiceSeconds);
+    if (auto* prep = std::get_if<PutPrep>(&request)) {
+      co_await engine_->sleep(kIndexOpSeconds);
+      handle_put_prep(server, *prep);
+    } else if (auto* commit = std::get_if<PutCommit>(&request)) {
+      handle_put_commit(server, *commit);
+    } else if (auto* get = std::get_if<GetReq>(&request)) {
+      co_await engine_->sleep(kIndexOpSeconds);
+      // Bulk movement overlaps with serving other requests (one-sided RDMA
+      // from pinned staging memory).
+      engine_->spawn(run_get(server, std::move(*get)));
+    } else if (auto* publish = std::get_if<Publish>(&request)) {
+      handle_publish(server, *publish);
+      if (publish->reply != nullptr) publish->reply->push(Status::ok());
+    } else if (auto* wait = std::get_if<WaitVersion>(&request)) {
+      // Version board lives on server 0.
+      auto it = board_.published.find(wait->var);
+      if (it != board_.published.end() && it->second >= wait->version) {
+        wait->reply->push(Status::ok());
+      } else {
+        board_.waiters.push_back(*wait);
+      }
+    }
+  }
+}
+
+Status DataSpaces::try_stage(Server& server, const PutPrep& req) {
+  auto& versions = server.staged[req.var.name];
+  // max_versions also binds on the write path: when version v starts
+  // arriving, versions older than the window *relative to the previous
+  // version* are dropped (v-1 stays readable until v is published).
+  evict_versions(server, req.var.name, req.var.version - 1);
+  // Charge the SFC index: the cube bucket table once per variable; the
+  // per-object entries (rank >= 3 data) per staged object, released with
+  // the object's version.
+  auto [vit, fresh_version] = versions.try_emplace(req.var.version);
+  (void)fresh_version;
+  if (index_uses_cube(req.var.global)) {
+    auto [iit, fresh_var] = server.index_charged.try_emplace(req.var.name, 0);
+    if (fresh_var) {
+      const std::uint64_t table =
+          index_bytes_per_server(req.var.global, num_servers());
+      if (Status st = server.memory->allocate(mem::Tag::kIndex, table);
+          !st.is_ok()) {
+        server.index_charged.erase(req.var.name);
+        return st;
+      }
+      iit->second = table;
+      server.stats.index_bytes += table;
+    }
+  } else {
+    const std::uint64_t entries = index_bytes_for_object(req.box.volume());
+    if (Status st = server.memory->allocate(mem::Tag::kIndex, entries);
+        !st.is_ok()) {
+      return st;
+    }
+    vit->second.index_bytes += entries;
+    server.stats.index_bytes += entries;
+  }
+
+  // Reserve staging memory for the incoming object.
+  if (Status st = server.memory->allocate(mem::Tag::kStaging, req.bytes);
+      !st.is_ok()) {
+    return st;
+  }
+  // Pin it for one-sided RDMA; stays pinned while staged (§III-B1).
+  std::uint64_t registered = 0;
+  if (transport_is_rdma()) {
+    if (Status st = server.endpoint.node->rdma().register_memory(req.bytes);
+        !st.is_ok()) {
+      server.memory->free(mem::Tag::kStaging, req.bytes);
+      return st;
+    }
+    registered = req.bytes;
+  }
+  // Record a placeholder; the content arrives with PutCommit.
+  vit->second.objects.push_back(
+      StagedObject{req.box, nda::Slab(), req.bytes, registered});
+  server.stats.staged_bytes += req.bytes;
+  ++server.stats.puts;
+  return Status::ok();
+}
+
+void DataSpaces::handle_put_prep(Server& server, PutPrep& req) {
+  Status st = try_stage(server, req);
+  const bool resource_exhaustion = st.code() == ErrorCode::kOutOfRdmaMemory ||
+                                   st.code() == ErrorCode::kOutOfRdmaHandlers ||
+                                   st.code() == ErrorCode::kOutOfMemory;
+  if (!st.is_ok() && resource_exhaustion && config_.wait_retry_registration) {
+    // Table IV's resolve: wait and retry off the main service loop;
+    // eviction of retired versions frees registered memory over time.
+    engine_->spawn(retry_put_prep(server, std::move(req)));
+    return;
+  }
+  req.reply->push(st);
+}
+
+sim::Task<> DataSpaces::retry_put_prep(Server& server, PutPrep req) {
+  Status st;
+  for (int attempt = 0; attempt < config_.max_retry_attempts; ++attempt) {
+    co_await engine_->sleep(config_.retry_interval_seconds);
+    if (attempt >= 1) {
+      // Waiting alone cannot help while the previous version stays pinned
+      // (its publish waits on this very put). max_versions=1 permits
+      // dropping versions older than the one arriving; lagging readers see
+      // NOT_FOUND — the same trade the real library makes.
+      evict_versions(server, req.var.name, req.var.version);
+    }
+    st = try_stage(server, req);
+    if (st.is_ok()) break;
+  }
+  req.reply->push(st);
+}
+
+void DataSpaces::handle_put_commit(Server& server, PutCommit& req) {
+  auto vit = server.staged[req.var.name].find(req.var.version);
+  if (vit == server.staged[req.var.name].end()) return;  // evicted already
+  for (auto& object : vit->second.objects) {
+    if (object.box == req.slab.box() && !object.slab.box().volume()) {
+      object.slab = std::move(req.slab);
+      return;
+    }
+  }
+}
+
+void DataSpaces::evict_versions(Server& server, const std::string& var,
+                                int newest_version) {
+  // Evict versions older than max_versions (Table I: max_versions=1 keeps
+  // only the newest version).
+  auto& versions = server.staged[var];
+  const int evict_upto = newest_version - config_.max_versions;
+  for (auto it = versions.begin(); it != versions.end();) {
+    if (it->first > evict_upto) {
+      ++it;
+      continue;
+    }
+    for (auto& object : it->second.objects) {
+      server.memory->free(mem::Tag::kStaging, object.bytes);
+      if (object.registered > 0) {
+        server.endpoint.node->rdma().deregister(object.registered);
+      }
+      server.stats.staged_bytes -= object.bytes;
+      ++server.stats.evicted_objects;
+    }
+    server.memory->free(mem::Tag::kIndex, it->second.index_bytes);
+    server.stats.index_bytes -= it->second.index_bytes;
+    it = versions.erase(it);
+  }
+}
+
+void DataSpaces::handle_publish(Server& server, const Publish& req) {
+  evict_versions(server, req.var, req.version);
+  // Version board + waiter wakeup (server 0 only; publishes are broadcast).
+  if (server.id == 0) {
+    int& published = board_.published[req.var];
+    published = std::max(published, req.version);
+    auto it = board_.waiters.begin();
+    while (it != board_.waiters.end()) {
+      if (it->var == req.var && published >= it->version) {
+        it->reply->push(Status::ok());
+        it = board_.waiters.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+sim::Task<> DataSpaces::run_get(Server& server, GetReq req) {
+  std::vector<nda::Slab> pieces;
+  std::uint64_t total_bytes = 0;
+  auto vit = server.staged[req.var.name].find(req.var.version);
+  if (vit != server.staged[req.var.name].end()) {
+    for (const auto& object : vit->second.objects) {
+      if (auto overlap = nda::intersect(object.box, req.box)) {
+        if (object.slab.box().volume() > 0) {
+          pieces.push_back(object.slab.extract(*overlap));
+        } else {
+          // Content never committed (put aborted mid-flight).
+          pieces.push_back(nda::Slab::zeros(*overlap));
+        }
+        total_bytes += overlap->volume() * nda::kElementBytes;
+      }
+    }
+  }
+  if (pieces.empty()) {
+    req.reply->push(make_error(
+        ErrorCode::kNotFound, "no staged data for " + req.var.name +
+                                  " v" + std::to_string(req.var.version) +
+                                  " in " + req.box.to_string()));
+    co_return;
+  }
+  ++server.stats.gets;
+  // One-sided transfer out of pinned staging memory into the client.
+  net::TransferOptions opts;
+  opts.src_pinned = true;
+  Status st = co_await transport_->transfer(server.endpoint, req.client,
+                                            total_bytes, opts);
+  if (!st.is_ok()) {
+    req.reply->push(st);
+    co_return;
+  }
+  req.reply->push(std::move(pieces));
+}
+
+// ------------------------------------------------------------- client -----
+
+sim::Task<Status> DataSpaces::Client::init() {
+  if (initialized_) co_return Status::ok();
+  if (Status st =
+          memory_->allocate(mem::Tag::kLibrary, ds_->config_.client_base_bytes);
+      !st.is_ok()) {
+    co_return st;
+  }
+  for (int s = 0; s < ds_->num_servers(); ++s) {
+    if (Status st =
+            co_await ds_->transport_->connect(self_, ds_->server_endpoint(s));
+        !st.is_ok()) {
+      co_return st;
+    }
+  }
+  initialized_ = true;
+  co_return Status::ok();
+}
+
+sim::Task<Status> DataSpaces::Client::put(const nda::VarDesc& var,
+                                          const nda::Slab& slab) {
+  if (!initialized_) {
+    co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
+  }
+  if (ds_->config_.use_32bit_dims) {
+    if (Status st = nda::check_dims_32bit(var.global); !st.is_ok()) {
+      co_return st;
+    }
+  }
+  const auto& regions = ds_->regions_of(var);
+  // Sub-regions visited in coordinate order — every rank walks servers in
+  // the same sequence (Finding 3's convoy when decompositions mismatch).
+  for (const auto& [region_idx, overlap] :
+       nda::intersecting(regions, slab.box())) {
+    const int s = server_of_region(region_idx, ds_->num_servers());
+    Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
+    const std::uint64_t bytes = overlap.volume() * nda::kElementBytes;
+
+    // Descriptor request/grant round trip.
+    sim::Queue<Status> reply(*ds_->engine_);
+    co_await ds_->transport_->transfer(self_, server.endpoint, kCtrlBytes,
+                                       {.src_pinned = true, .dst_pinned = true});
+    server.queue->push(PutPrep{var, overlap, bytes, &reply});
+    Status granted = co_await reply.pop();
+    if (!granted.is_ok()) co_return granted;
+
+    // One-sided data movement into the pinned staging region.
+    net::TransferOptions opts;
+    opts.dst_pinned = true;  // server pre-registered the staging object
+    Status st =
+        co_await ds_->transport_->transfer(self_, server.endpoint, bytes, opts);
+    if (!st.is_ok()) co_return st;
+
+    server.queue->push(PutCommit{var, slab.extract(overlap)});
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Result<nda::Slab>> DataSpaces::Client::get(const nda::VarDesc& var,
+                                                     const nda::Box& box) {
+  if (!initialized_) {
+    co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
+  }
+  std::vector<nda::Slab> pieces;
+  const auto& regions = ds_->regions_of(var);
+  for (const auto& [region_idx, overlap] : nda::intersecting(regions, box)) {
+    const int s = server_of_region(region_idx, ds_->num_servers());
+    Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
+
+    sim::Queue<Result<std::vector<nda::Slab>>> reply(*ds_->engine_);
+    co_await ds_->transport_->transfer(self_, server.endpoint, kCtrlBytes,
+                                       {.src_pinned = true, .dst_pinned = true});
+    server.queue->push(GetReq{var, overlap, self_, &reply});
+    auto piece = co_await reply.pop();
+    if (!piece.has_value()) co_return piece.status();
+    for (auto& p : *piece) pieces.push_back(std::move(p));
+  }
+  if (pieces.empty()) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "nothing staged intersects " + box.to_string());
+  }
+
+  // Assemble the requested slab from the returned pieces.
+  std::uint64_t covered = 0;
+  for (const auto& p : pieces) covered += p.box().volume();
+  if (covered < box.volume()) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "staged data covers only " + std::to_string(covered) +
+                             " of " + std::to_string(box.volume()) +
+                             " elements of " + box.to_string());
+  }
+  if (box.volume() <= ds_->config_.materialize_cap_elems) {
+    nda::Slab out = nda::Slab::zeros(box);
+    for (const auto& p : pieces) out.fill_from(p);
+    co_return out;
+  }
+  // Paper-scale request: keep it synthetic (all pieces share the source
+  // definition by construction).
+  co_return nda::Slab::synthetic(box, pieces.front().seed());
+}
+
+sim::Task<Status> DataSpaces::Client::publish(const nda::VarDesc& var) {
+  sim::Queue<Status> acks(*ds_->engine_);
+  for (auto& server : ds_->servers_) {
+    co_await ds_->transport_->transfer(self_, server->endpoint, kCtrlBytes,
+                                       {.src_pinned = true, .dst_pinned = true});
+    server->queue->push(Publish{var.name, var.version, &acks});
+  }
+  // dspaces_unlock_on_write is synchronous: wait until every server applied
+  // the publish (and its eviction).
+  for (std::size_t i = 0; i < ds_->servers_.size(); ++i) {
+    (void)co_await acks.pop();
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Status> DataSpaces::Client::wait_version(const std::string& var,
+                                                   int version) {
+  Server& master = *ds_->servers_.front();
+  sim::Queue<Status> reply(*ds_->engine_);
+  co_await ds_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
+                                     {.src_pinned = true, .dst_pinned = true});
+  master.queue->push(WaitVersion{var, version, &reply});
+  co_return co_await reply.pop();
+}
+
+namespace {
+// The lock service lives on the master server; each lock/unlock is one
+// small control message away.
+}  // namespace
+
+sim::Task<Status> DataSpaces::Client::lock_on_write(const std::string& name) {
+  Server& master = *ds_->servers_.front();
+  co_await ds_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
+                                     {.src_pinned = true, .dst_pinned = true});
+  co_return co_await ds_->locks_.lock_on_write(name);
+}
+
+sim::Task<Status> DataSpaces::Client::unlock_on_write(const std::string& name) {
+  Server& master = *ds_->servers_.front();
+  co_await ds_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
+                                     {.src_pinned = true, .dst_pinned = true});
+  ds_->locks_.unlock_on_write(name);
+  co_return Status::ok();
+}
+
+sim::Task<Status> DataSpaces::Client::lock_on_read(const std::string& name) {
+  Server& master = *ds_->servers_.front();
+  co_await ds_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
+                                     {.src_pinned = true, .dst_pinned = true});
+  co_return co_await ds_->locks_.lock_on_read(name);
+}
+
+sim::Task<Status> DataSpaces::Client::unlock_on_read(const std::string& name) {
+  Server& master = *ds_->servers_.front();
+  co_await ds_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
+                                     {.src_pinned = true, .dst_pinned = true});
+  ds_->locks_.unlock_on_read(name);
+  co_return Status::ok();
+}
+
+void DataSpaces::Client::finalize() {
+  if (!initialized_) return;
+  ds_->transport_->disconnect_all(self_);
+  memory_->free(mem::Tag::kLibrary, ds_->config_.client_base_bytes);
+  initialized_ = false;
+}
+
+}  // namespace imc::dataspaces

@@ -1,0 +1,87 @@
+#include "dataspaces/locks.h"
+
+#include <cassert>
+
+namespace imc::dataspaces {
+
+bool LockService::admits(const LockState& lock, bool is_writer) const {
+  if (lock_type_ == 3) return true;  // no coordination
+  if (is_writer) return !lock.write_held && lock.readers == 0;
+  if (lock_type_ == 1) {
+    // Generic lock: readers are exclusive too.
+    return !lock.write_held && lock.readers == 0;
+  }
+  // lock_type=2: readers shared, excluded only by a writer.
+  return !lock.write_held;
+}
+
+void LockService::drain(LockState& lock) {
+  while (!lock.queue.empty() && admits(lock, lock.queue.front().is_writer)) {
+    Waiter waiter = lock.queue.front();
+    lock.queue.pop_front();
+    if (waiter.is_writer) {
+      lock.write_held = true;
+    } else {
+      ++lock.readers;
+    }
+    engine_->schedule_now(waiter.handle);
+    if (waiter.is_writer) break;  // exclusive: nothing else can follow
+  }
+}
+
+sim::Task<Status> LockService::lock_on_write(const std::string& name) {
+  if (lock_type_ == 3) co_return Status::ok();
+  LockState& lock = locks_[name];
+  if (lock.queue.empty() && admits(lock, /*is_writer=*/true)) {
+    lock.write_held = true;
+    co_return Status::ok();
+  }
+  co_await wait_turn(lock, /*is_writer=*/true);
+  // drain() marked the lock held before resuming us.
+  assert(lock.write_held);
+  co_return Status::ok();
+}
+
+void LockService::unlock_on_write(const std::string& name) {
+  if (lock_type_ == 3) return;
+  LockState& lock = locks_[name];
+  assert(lock.write_held);
+  lock.write_held = false;
+  drain(lock);
+}
+
+sim::Task<Status> LockService::lock_on_read(const std::string& name) {
+  if (lock_type_ == 3) co_return Status::ok();
+  LockState& lock = locks_[name];
+  if (lock.queue.empty() && admits(lock, /*is_writer=*/false)) {
+    ++lock.readers;
+    co_return Status::ok();
+  }
+  co_await wait_turn(lock, /*is_writer=*/false);
+  co_return Status::ok();
+}
+
+void LockService::unlock_on_read(const std::string& name) {
+  if (lock_type_ == 3) return;
+  LockState& lock = locks_[name];
+  assert(lock.readers > 0);
+  --lock.readers;
+  drain(lock);
+}
+
+int LockService::active_readers(const std::string& name) const {
+  auto it = locks_.find(name);
+  return it == locks_.end() ? 0 : it->second.readers;
+}
+
+bool LockService::write_held(const std::string& name) const {
+  auto it = locks_.find(name);
+  return it != locks_.end() && it->second.write_held;
+}
+
+std::size_t LockService::waiting(const std::string& name) const {
+  auto it = locks_.find(name);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace imc::dataspaces

@@ -1,0 +1,51 @@
+#include "dataspaces/regions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imc::dataspaces {
+
+int index_order(std::uint64_t extent) {
+  int k = 0;
+  while ((1ull << k) <= extent) ++k;
+  return k;
+}
+
+int region_count(const nda::Dims& global, int num_servers) {
+  int k = 0;
+  while ((1 << k) < num_servers) ++k;
+  const std::uint64_t regions = 1ull << k;
+  const std::uint64_t longest =
+      global[static_cast<std::size_t>(nda::longest_dim(global))];
+  return static_cast<int>(std::min<std::uint64_t>(regions, longest));
+}
+
+std::vector<nda::Box> staging_regions(const nda::Dims& global,
+                                      int num_servers) {
+  return nda::decompose_1d(global, region_count(global, num_servers),
+                           nda::longest_dim(global));
+}
+
+int server_of_region(int region_index, int num_servers) {
+  return region_index % num_servers;
+}
+
+bool index_uses_cube(const nda::Dims& global) { return global.size() <= 2; }
+
+std::uint64_t index_bytes_per_server(const nda::Dims& global,
+                                     int num_servers) {
+  const std::uint64_t longest =
+      global[static_cast<std::size_t>(nda::longest_dim(global))];
+  const double side = std::pow(2.0, index_order(longest));
+  const double cells = global.size() >= 2 ? side * side : side;
+  const double bytes = cells * kIndexBytesPerCell /
+                       static_cast<double>(std::max(1, num_servers));
+  return std::min(static_cast<std::uint64_t>(bytes), kIndexBytesCap);
+}
+
+std::uint64_t index_bytes_for_object(std::uint64_t volume_elements) {
+  return static_cast<std::uint64_t>(static_cast<double>(volume_elements) *
+                                    kIndexBytesPerElement);
+}
+
+}  // namespace imc::dataspaces

@@ -1,0 +1,71 @@
+// DataSpaces staging-region decomposition and SFC index cost model.
+//
+// Region decomposition (paper §III-B4): the global domain is cut into
+// 2^ceil(log2(num_servers)) regions along its *longest* dimension; regions
+// are assigned to servers sequentially (region i -> server i mod ns). A
+// client accesses its sub-regions in increasing coordinate order, which is
+// what produces the N-to-1 convoy when the application decomposes along a
+// different dimension than DataSpaces does (Fig. 8a) — every client's first
+// sub-region lands on the same server.
+//
+// SFC index cost model (paper §III-B3): DataSpaces builds a Hilbert-curve
+// index over a power-of-two index space whose side is the smallest 2^k
+// strictly greater than the longest global dimension (the paper's example:
+// longest dim 131072 -> side 262144). The DHT bucket table this induces is
+// two-level regardless of the data's rank, so the modeled cell count is
+// side^min(d,2), split evenly across servers. kIndexBytesPerCell is
+// calibrated so that the paper's Fig. 6 data point (4096x2048 per proc, 64
+// procs, 16 procs/server => ~6 GB per server) is reproduced; the quadratic
+// growth with problem size follows from side^2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ndarray/ndarray.h"
+
+namespace imc::dataspaces {
+
+// Smallest k with 2^k strictly greater than extent (paper's wording).
+int index_order(std::uint64_t extent);
+
+// The number of staging regions for ns servers: 2^ceil(log2 ns), clamped to
+// the longest dimension's extent (cannot cut finer than elements).
+int region_count(const nda::Dims& global, int num_servers);
+
+// The staging regions, in coordinate order along the longest dimension.
+std::vector<nda::Box> staging_regions(const nda::Dims& global,
+                                      int num_servers);
+
+// Sequential region -> server assignment.
+int server_of_region(int region_index, int num_servers);
+
+// Whether the full two-level bucket table is built for this geometry. For
+// rank <= 2 data DataSpaces builds the SFC bucket table over the cube index
+// space (the paper's Laplace description); for rank >= 3 data the cube is
+// unrepresentable (side^3 cells) and the DHT falls back to per-object
+// entries.
+bool index_uses_cube(const nda::Dims& global);
+
+// Modeled per-server SFC bucket-table memory for one staged variable
+// (cube-index geometries). Charged once per (variable, version) per server.
+std::uint64_t index_bytes_per_server(const nda::Dims& global, int num_servers);
+
+// Modeled per-object index entry cost (rank >= 3 geometries): proportional
+// to the object's element count.
+std::uint64_t index_bytes_for_object(std::uint64_t volume_elements);
+
+// Calibrated to Fig. 6's 6 GB/server point (4096x2048 per proc, 64 procs,
+// 4 servers: 262144^2 cells * 0.35 / 4 = 6.0 GB).
+inline constexpr double kIndexBytesPerCell = 0.35;
+// The DHT's bucket table is bounded by the staging-space geometry declared
+// in dataspaces.conf; the modeled table is capped at slightly above the
+// largest footprint the paper observed (Fig. 6). Without a bound the cube
+// model would exceed node DRAM at processor counts the paper demonstrably
+// ran.
+inline constexpr std::uint64_t kIndexBytesCap = 8ull * 1024 * 1024 * 1024;
+// Calibrated to Fig. 5a's ~560 MB LAMMPS staging-server footprint
+// (~320 MB staged + ~170 MB index at 4.2e7 elements/server).
+inline constexpr double kIndexBytesPerElement = 4.0;
+
+}  // namespace imc::dataspaces

@@ -1,0 +1,323 @@
+#include "dimes/dimes.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace imc::dimes {
+
+Dimes::Dimes(sim::Engine& engine, hpc::Cluster& cluster,
+             net::Transport& transport, Config config)
+    : engine_(&engine),
+      cluster_(&cluster),
+      transport_(&transport),
+      config_(std::move(config)) {}
+
+Dimes::~Dimes() = default;
+
+Status Dimes::deploy(const std::vector<int>& staging_node_ids) {
+  if (staging_node_ids.empty() || config_.num_servers <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "deploy requires staging nodes and num_servers > 0");
+  }
+  for (int s = 0; s < config_.num_servers; ++s) {
+    auto server = std::make_unique<Server>();
+    server->id = s;
+    const int node_id =
+        staging_node_ids[static_cast<std::size_t>(s / config_.servers_per_node) %
+                         staging_node_ids.size()];
+    hpc::Node& node = cluster_->node(node_id);
+    server->endpoint = net::Endpoint{next_pid_++, /*job=*/2, &node};
+    server->memory = std::make_unique<mem::ProcessMemory>(
+        *engine_, "dimes-server-" + std::to_string(s), &node.memory());
+    server->queue = std::make_unique<sim::Queue<Request>>(*engine_);
+    if (Status st = server->memory->allocate(mem::Tag::kLibrary,
+                                             config_.server_base_bytes);
+        !st.is_ok()) {
+      return st;
+    }
+    servers_.push_back(std::move(server));
+  }
+  for (auto& server : servers_) engine_->spawn(server_loop(*server));
+  return Status::ok();
+}
+
+void Dimes::shutdown() {
+  for (auto& server : servers_) server->queue->push(Shutdown{});
+}
+
+net::Endpoint Dimes::server_endpoint(int s) const {
+  return servers_.at(static_cast<std::size_t>(s))->endpoint;
+}
+
+mem::ProcessMemory& Dimes::server_memory(int s) {
+  return *servers_.at(static_cast<std::size_t>(s))->memory;
+}
+
+const Dimes::ServerStats& Dimes::server_stats(int s) const {
+  return servers_.at(static_cast<std::size_t>(s))->stats;
+}
+
+Dimes::Server& Dimes::server_for(const std::string& var_name) {
+  const std::size_t h = std::hash<std::string>{}(var_name);
+  return *servers_[h % servers_.size()];
+}
+
+sim::Task<> Dimes::server_loop(Server& server) {
+  for (;;) {
+    Request request = co_await server.queue->pop();
+    if (std::holds_alternative<Shutdown>(request)) break;
+    co_await engine_->sleep(kServerServiceSeconds);
+    if (auto* put = std::get_if<PutMeta>(&request)) {
+      if (Status st = server.memory->allocate(mem::Tag::kIndex,
+                                              config_.per_object_meta_bytes);
+          !st.is_ok()) {
+        put->reply->push(st);
+        continue;
+      }
+      server.directory[put->var.name][put->var.version].push_back(
+          ObjectDesc{put->box, put->owner_pid});
+      ++server.stats.objects;
+      put->reply->push(Status::ok());
+    } else if (auto* query = std::get_if<QueryMeta>(&request)) {
+      ++server.stats.queries;
+      std::vector<ObjectDesc> hits;
+      auto vit = server.directory[query->var.name].find(query->var.version);
+      if (vit != server.directory[query->var.name].end()) {
+        for (const auto& desc : vit->second) {
+          if (nda::intersect(desc.box, query->box)) hits.push_back(desc);
+        }
+      }
+      if (hits.empty()) {
+        query->reply->push(make_error(
+            ErrorCode::kNotFound,
+            "no descriptors for " + query->var.name + " v" +
+                std::to_string(query->var.version)));
+      } else {
+        query->reply->push(std::move(hits));
+      }
+    } else if (auto* publish = std::get_if<Publish>(&request)) {
+      // Drop directory entries of evicted versions; clients evict their
+      // local buffers on their own put/publish path.
+      auto& versions = server.directory[publish->var];
+      const int evict_upto = publish->version - config_.max_versions;
+      for (auto it = versions.begin(); it != versions.end();) {
+        if (it->first <= evict_upto) {
+          server.memory->free(
+              mem::Tag::kIndex,
+              config_.per_object_meta_bytes * it->second.size());
+          it = versions.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (server.id == 0) {
+        int& published = board_.published[publish->var];
+        published = std::max(published, publish->version);
+        auto it = board_.waiters.begin();
+        while (it != board_.waiters.end()) {
+          if (it->var == publish->var && published >= it->version) {
+            it->reply->push(Status::ok());
+            it = board_.waiters.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      publish->reply->push(Status::ok());
+    } else if (auto* wait = std::get_if<WaitVersion>(&request)) {
+      auto it = board_.published.find(wait->var);
+      if (it != board_.published.end() && it->second >= wait->version) {
+        wait->reply->push(Status::ok());
+      } else {
+        board_.waiters.push_back(*wait);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- client -----
+
+sim::Task<Status> Dimes::Client::init() {
+  if (initialized_) co_return Status::ok();
+  if (Status st = memory_->allocate(mem::Tag::kLibrary,
+                                    dimes_->config_.client_base_bytes);
+      !st.is_ok()) {
+    co_return st;
+  }
+  for (auto& server : dimes_->servers_) {
+    if (Status st = co_await dimes_->transport_->connect(self_,
+                                                         server->endpoint);
+        !st.is_ok()) {
+      co_return st;
+    }
+  }
+  dimes_->clients_[self_.pid] = this;
+  initialized_ = true;
+  co_return Status::ok();
+}
+
+void Dimes::Client::evict_before(const std::string& var, int version) {
+  const int evict_upto = version - dimes_->config_.max_versions;
+  auto it = store_.begin();
+  while (it != store_.end()) {
+    if (it->var.name == var && it->var.version <= evict_upto) {
+      memory_->free(mem::Tag::kStaging, it->bytes);
+      if (it->registered > 0) self_.node->rdma().deregister(it->registered);
+      buffer_used_ -= it->bytes;
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+sim::Task<Status> Dimes::Client::put(const nda::VarDesc& var,
+                                     const nda::Slab& slab) {
+  if (!initialized_) {
+    co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
+  }
+  if (dimes_->config_.use_32bit_dims) {
+    if (Status st = nda::check_dims_32bit(var.global); !st.is_ok()) {
+      co_return st;
+    }
+  }
+  // Evict older versions from the local buffer first (max_versions).
+  evict_before(var.name, var.version);
+
+  const std::uint64_t bytes = slab.box().volume() * nda::kElementBytes;
+  if (buffer_used_ + bytes > dimes_->config_.rdma_buffer_bytes) {
+    co_return make_error(
+        ErrorCode::kOutOfRdmaMemory,
+        "DIMES RDMA buffer full: " + std::to_string(buffer_used_ + bytes) +
+            " > " + std::to_string(dimes_->config_.rdma_buffer_bytes) + " B");
+  }
+  if (Status st = memory_->allocate(mem::Tag::kStaging, bytes); !st.is_ok()) {
+    co_return st;
+  }
+  std::uint64_t registered = 0;
+  const auto kind = dimes_->transport_->kind();
+  if (kind == net::TransportKind::kRdmaUgni ||
+      kind == net::TransportKind::kRdmaNnti) {
+    // The staged object stays registered in the writer's memory until
+    // evicted — this is what depletes compute-node registered memory at
+    // 128 MB/proc on Titan (§III-B1).
+    if (Status st = self_.node->rdma().register_memory(bytes); !st.is_ok()) {
+      memory_->free(mem::Tag::kStaging, bytes);
+      co_return st;
+    }
+    registered = bytes;
+  }
+  store_.push_back(LocalObject{var, slab.extract(slab.box()), bytes,
+                               registered});
+  buffer_used_ += bytes;
+
+  // Descriptor to the metadata server.
+  Server& md = dimes_->server_for(var.name);
+  sim::Queue<Status> reply(*dimes_->engine_);
+  co_await dimes_->transport_->transfer(self_, md.endpoint, kCtrlBytes,
+                                        {.src_pinned = true, .dst_pinned = true});
+  md.queue->push(PutMeta{var, slab.box(), self_.pid, &reply});
+  co_return co_await reply.pop();
+}
+
+sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
+                                                const nda::Box& box) {
+  if (!initialized_) {
+    co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
+  }
+  // Query the object directory.
+  Server& md = dimes_->server_for(var.name);
+  sim::Queue<Result<std::vector<ObjectDesc>>> reply(*dimes_->engine_);
+  co_await dimes_->transport_->transfer(self_, md.endpoint, kCtrlBytes,
+                                        {.src_pinned = true, .dst_pinned = true});
+  md.queue->push(QueryMeta{var, box, &reply});
+  auto descriptors = co_await reply.pop();
+  if (!descriptors.has_value()) co_return descriptors.status();
+
+  // Pull each intersecting piece directly from its owner's memory.
+  std::vector<nda::Slab> pieces;
+  std::uint64_t covered = 0;
+  for (const auto& desc : *descriptors) {
+    auto overlap = nda::intersect(desc.box, box);
+    if (!overlap) continue;
+    Client* owner = dimes_->clients_[desc.owner_pid];
+    if (owner == nullptr) {
+      co_return make_error(ErrorCode::kNotFound,
+                           "owner pid " + std::to_string(desc.owner_pid) +
+                               " no longer registered");
+    }
+    if (Status st = co_await dimes_->transport_->connect(self_, owner->self_);
+        !st.is_ok()) {
+      co_return st;
+    }
+    net::TransferOptions opts;
+    opts.src_pinned = true;  // staged data is pre-registered at the owner
+    const std::uint64_t bytes = overlap->volume() * nda::kElementBytes;
+    if (Status st = co_await dimes_->transport_->transfer(owner->self_, self_,
+                                                          bytes, opts);
+        !st.is_ok()) {
+      co_return st;
+    }
+    for (const auto& object : owner->store_) {
+      if (object.var == var && object.slab.box().contains(*overlap)) {
+        pieces.push_back(object.slab.extract(*overlap));
+        covered += overlap->volume();
+        break;
+      }
+    }
+  }
+  if (covered < box.volume()) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "descriptors cover only " + std::to_string(covered) +
+                             " of " + std::to_string(box.volume()) +
+                             " elements");
+  }
+  if (box.volume() <= dimes_->config_.materialize_cap_elems) {
+    nda::Slab out = nda::Slab::zeros(box);
+    for (const auto& p : pieces) out.fill_from(p);
+    co_return out;
+  }
+  co_return nda::Slab::synthetic(box, pieces.front().seed());
+}
+
+sim::Task<Status> Dimes::Client::publish(const nda::VarDesc& var) {
+  sim::Queue<Status> acks(*dimes_->engine_);
+  for (auto& server : dimes_->servers_) {
+    co_await dimes_->transport_->transfer(self_, server->endpoint, kCtrlBytes,
+                                          {.src_pinned = true,
+                                           .dst_pinned = true});
+    server->queue->push(Publish{var.name, var.version, &acks});
+  }
+  for (std::size_t i = 0; i < dimes_->servers_.size(); ++i) {
+    (void)co_await acks.pop();
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Status> Dimes::Client::wait_version(const std::string& var,
+                                              int version) {
+  Server& master = *dimes_->servers_.front();
+  sim::Queue<Status> reply(*dimes_->engine_);
+  co_await dimes_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
+                                        {.src_pinned = true, .dst_pinned = true});
+  master.queue->push(WaitVersion{var, version, &reply});
+  co_return co_await reply.pop();
+}
+
+void Dimes::Client::finalize() {
+  if (!initialized_) return;
+  for (auto& object : store_) {
+    memory_->free(mem::Tag::kStaging, object.bytes);
+    if (object.registered > 0) {
+      self_.node->rdma().deregister(object.registered);
+    }
+  }
+  store_.clear();
+  buffer_used_ = 0;
+  dimes_->transport_->disconnect_all(self_);
+  dimes_->clients_.erase(self_.pid);
+  memory_->free(mem::Tag::kLibrary, dimes_->config_.client_base_bytes);
+  initialized_ = false;
+}
+
+}  // namespace imc::dimes

@@ -1,0 +1,179 @@
+// DIMES: in-situ staging with client-side storage (the DataSpaces library's
+// second in-transit method, reimplemented from the paper's description).
+//
+// Differences from baseline DataSpaces that the paper's findings rest on:
+//  * Staged data stays in the *writer's* memory (pre-registered RDMA buffer
+//    of build-configurable size: -with-dimes-rdma-buffer-size); readers pull
+//    directly memory-to-memory. Only metadata goes to the (few, standalone)
+//    DIMES servers — the paper runs just 4 of them.
+//  * Server memory is therefore small and flat (~154 MB in Fig. 6) while
+//    client nodes carry the staging + registration burden — which is why
+//    Laplace at 128 MB/proc exhausts Titan's registered memory on the
+//    *compute* nodes (§III-B1).
+//  * The spatial index is kept at the clients; metadata servers only map
+//    (variable, version) -> object descriptors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hpc/cluster.h"
+#include "mem/memory.h"
+#include "ndarray/ndarray.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace imc::dimes {
+
+struct Config {
+  int num_servers = 4;  // metadata servers (paper §III-A)
+  int servers_per_node = 2;
+  // Build option -with-dimes-rdma-buffer-size (Table I: 1024/2048 MiB).
+  std::uint64_t rdma_buffer_bytes = 1024 * kMiB;
+  int max_versions = 1;
+  bool use_32bit_dims = false;
+  std::uint64_t client_base_bytes = 200 * kMiB;
+  std::uint64_t server_base_bytes = 150 * kMiB;  // Fig. 6: ~154 MB flat
+  std::uint64_t per_object_meta_bytes = 200;
+  std::uint64_t materialize_cap_elems = 1ull << 22;
+};
+
+class Dimes {
+ public:
+  struct ServerStats {
+    std::uint64_t objects = 0;
+    std::uint64_t queries = 0;
+  };
+
+  Dimes(sim::Engine& engine, hpc::Cluster& cluster, net::Transport& transport,
+        Config config);
+  ~Dimes();
+
+  Dimes(const Dimes&) = delete;
+  Dimes& operator=(const Dimes&) = delete;
+
+  Status deploy(const std::vector<int>& staging_node_ids);
+  void shutdown();
+
+  const Config& config() const { return config_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  net::Endpoint server_endpoint(int s) const;
+  mem::ProcessMemory& server_memory(int s);
+  const ServerStats& server_stats(int s) const;
+
+  class Client {
+   public:
+    Client(Dimes& dimes, net::Endpoint self, mem::ProcessMemory& memory)
+        : dimes_(&dimes), self_(self), memory_(&memory) {}
+
+    // dimes_init: register with the object directory, connect to metadata
+    // servers and allocate the client pool.
+    sim::Task<Status> init();
+
+    // dimes_put: store the slab in the local RDMA buffer and publish its
+    // descriptor to the responsible metadata server.
+    sim::Task<Status> put(const nda::VarDesc& var, const nda::Slab& slab);
+
+    // dimes_get: look up descriptors at the metadata server, then pull each
+    // intersecting piece directly from its owner's memory.
+    sim::Task<Result<nda::Slab>> get(const nda::VarDesc& var,
+                                     const nda::Box& box);
+
+    sim::Task<Status> publish(const nda::VarDesc& var);
+    sim::Task<Status> wait_version(const std::string& var, int version);
+    void finalize();
+
+    std::uint64_t buffer_in_use() const { return buffer_used_; }
+
+   private:
+    friend class Dimes;
+
+    struct LocalObject {
+      nda::VarDesc var;
+      nda::Slab slab;
+      std::uint64_t bytes;
+      std::uint64_t registered;
+    };
+
+    void evict_before(const std::string& var, int version);
+
+    Dimes* dimes_;
+    net::Endpoint self_;
+    mem::ProcessMemory* memory_;
+    std::vector<LocalObject> store_;
+    std::uint64_t buffer_used_ = 0;
+    bool initialized_ = false;
+  };
+
+ private:
+  friend class Client;
+
+  struct ObjectDesc {
+    nda::Box box;
+    int owner_pid;
+  };
+
+  struct PutMeta {
+    nda::VarDesc var;
+    nda::Box box;
+    int owner_pid;
+    sim::Queue<Status>* reply;
+  };
+  struct QueryMeta {
+    nda::VarDesc var;
+    nda::Box box;
+    sim::Queue<Result<std::vector<ObjectDesc>>>* reply;
+  };
+  struct Publish {
+    std::string var;
+    int version;
+    sim::Queue<Status>* reply;
+  };
+  struct WaitVersion {
+    std::string var;
+    int version;
+    sim::Queue<Status>* reply;
+  };
+  struct Shutdown {};
+  using Request =
+      std::variant<PutMeta, QueryMeta, Publish, WaitVersion, Shutdown>;
+
+  struct Server {
+    int id = 0;
+    net::Endpoint endpoint;
+    std::unique_ptr<mem::ProcessMemory> memory;
+    std::unique_ptr<sim::Queue<Request>> queue;
+    // var -> version -> descriptors
+    std::map<std::string, std::map<int, std::vector<ObjectDesc>>> directory;
+    ServerStats stats;
+  };
+  struct Board {
+    std::map<std::string, int> published;
+    std::vector<WaitVersion> waiters;
+  };
+
+  sim::Task<> server_loop(Server& server);
+  Server& server_for(const std::string& var_name);
+
+  static constexpr std::uint64_t kCtrlBytes = 128;
+  static constexpr double kServerServiceSeconds = 8e-6;
+
+  sim::Engine* engine_;
+  hpc::Cluster* cluster_;
+  net::Transport* transport_;
+  Config config_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  Board board_;
+  std::map<int, Client*> clients_;  // pid -> client (object directory)
+  int next_pid_ = 800000;
+};
+
+}  // namespace imc::dimes

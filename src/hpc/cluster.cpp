@@ -1,0 +1,45 @@
+#include "hpc/cluster.h"
+
+#include <cassert>
+
+namespace imc::hpc {
+
+std::vector<int> Cluster::allocate_nodes(int count) {
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(config_, id));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<int> Cluster::place_block(int nprocs, int per_node) {
+  if (per_node <= 0) per_node = config_.cores_per_node;
+  const int nodes_needed = (nprocs + per_node - 1) / per_node;
+  std::vector<int> fresh = allocate_nodes(nodes_needed);
+  std::vector<int> placement;
+  placement.reserve(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    placement.push_back(fresh[static_cast<std::size_t>(p / per_node)]);
+  }
+  return placement;
+}
+
+std::vector<int> Cluster::place_onto(const std::vector<int>& node_ids,
+                                     int nprocs) {
+  assert(!node_ids.empty());
+  const int per_node =
+      (nprocs + static_cast<int>(node_ids.size()) - 1) /
+      static_cast<int>(node_ids.size());
+  std::vector<int> placement;
+  placement.reserve(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    placement.push_back(
+        node_ids[static_cast<std::size_t>(p / per_node) % node_ids.size()]);
+  }
+  return placement;
+}
+
+}  // namespace imc::hpc

@@ -1,0 +1,147 @@
+#include "lustre/lustre.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace imc::lustre {
+
+FileSystem::FileSystem(sim::Engine& engine, net::Fabric& fabric,
+                       const hpc::MachineConfig& config)
+    : engine_(&engine), fabric_(&fabric), config_(&config) {
+  osts_.resize(static_cast<std::size_t>(config.lustre_osts));
+  mds_busy_until_.resize(static_cast<std::size_t>(config.lustre_mds_count),
+                         0.0);
+}
+
+double FileSystem::aggregate_bandwidth() const {
+  return config_->ost_bandwidth * static_cast<double>(osts_.size());
+}
+
+sim::Task<> FileSystem::metadata_op(const std::string& key) {
+  ++metadata_ops_;
+  const std::size_t mds =
+      std::hash<std::string>{}(key) % mds_busy_until_.size();
+  double& busy = mds_busy_until_[mds];
+  const double done = std::max(engine_->now(), busy) + config_->mds_op_time;
+  busy = done;
+  co_await engine_->sleep(done - engine_->now());
+}
+
+double FileSystem::reserve_ost(int ost, std::uint64_t bytes) {
+  return osts_[static_cast<std::size_t>(ost)].reserve(engine_->now(), bytes,
+                                                      config_->ost_bandwidth);
+}
+
+sim::Task<Result<std::shared_ptr<File>>> FileSystem::open(
+    const std::string& path, StripeConfig stripe) {
+  co_await metadata_op(path);
+  co_return resolve(path, stripe);
+}
+
+std::shared_ptr<File> FileSystem::resolve(const std::string& path,
+                                          StripeConfig stripe) {
+  if (stripe.stripe_count <= 0 ||
+      stripe.stripe_count > static_cast<int>(osts_.size())) {
+    stripe.stripe_count = static_cast<int>(osts_.size());
+  }
+  if (stripe.stripe_size == 0) stripe.stripe_size = 1 * kMiB;
+
+  auto [it, inserted] = file_first_ost_.try_emplace(path, next_first_ost_);
+  if (inserted) {
+    next_first_ost_ =
+        (next_first_ost_ + stripe.stripe_count) % static_cast<int>(osts_.size());
+  }
+  return std::make_shared<File>(this, path, stripe, it->second);
+}
+
+sim::Task<> FileSystem::close(const File& file) {
+  co_await metadata_op(file.path());
+}
+
+sim::Task<> FileSystem::stat(const std::string& path) {
+  co_await metadata_op(path);
+}
+
+void FileSystem::record_object(const std::string& path,
+                               const nda::VarDesc& var, nda::Slab slab) {
+  objects_[path].push_back(StoredObject{var, std::move(slab)});
+}
+
+std::vector<const nda::Slab*> FileSystem::find_objects(
+    const std::string& path, const nda::VarDesc& var,
+    const nda::Box& box) const {
+  std::vector<const nda::Slab*> hits;
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return hits;
+  for (const auto& object : it->second) {
+    if (object.var == var && nda::intersect(object.slab.box(), box)) {
+      hits.push_back(&object.slab);
+    }
+  }
+  return hits;
+}
+
+namespace {
+
+// Shared chunking for read/write: the byte range [offset, offset+bytes) maps
+// to stripe chunks round-robin over the file's OSTs.
+template <typename Reserve>
+double last_chunk_done(std::uint64_t offset, std::uint64_t bytes,
+                       const StripeConfig& stripe, int first_ost,
+                       int total_osts, Reserve&& reserve) {
+  double done = 0;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + bytes;
+  while (pos < end) {
+    const std::uint64_t stripe_idx = pos / stripe.stripe_size;
+    const std::uint64_t chunk_end =
+        std::min(end, (stripe_idx + 1) * stripe.stripe_size);
+    const int ost = (first_ost + static_cast<int>(stripe_idx %
+                                                  static_cast<std::uint64_t>(
+                                                      stripe.stripe_count))) %
+                    total_osts;
+    done = std::max(done, reserve(ost, chunk_end - pos));
+    pos = chunk_end;
+  }
+  return done;
+}
+
+}  // namespace
+
+sim::Task<Status> File::write(hpc::Node& src, std::uint64_t offset,
+                              std::uint64_t bytes) {
+  if (bytes == 0) co_return Status::ok();
+  // The data leaves the compute node through its NIC...
+  const double egress_end = src.egress().reserve(
+      fs_->engine_->now(), bytes, fs_->config_->injection_bandwidth);
+  // ...and lands on the stripe OSTs, each a shared bandwidth link.
+  const double osts_done = last_chunk_done(
+      offset, bytes, stripe_, first_ost_, fs_->ost_count(),
+      [this](int ost, std::uint64_t chunk) {
+        return fs_->reserve_ost(ost, chunk);
+      });
+  fs_->bytes_written_ += static_cast<double>(bytes);
+  size_ = std::max(size_, offset + bytes);
+  const double done =
+      std::max(egress_end, osts_done) + fs_->config_->link_latency;
+  co_await fs_->engine_->sleep(done - fs_->engine_->now());
+  co_return Status::ok();
+}
+
+sim::Task<Status> File::read(hpc::Node& dst, std::uint64_t offset,
+                             std::uint64_t bytes) {
+  if (bytes == 0) co_return Status::ok();
+  const double osts_done = last_chunk_done(
+      offset, bytes, stripe_, first_ost_, fs_->ost_count(),
+      [this](int ost, std::uint64_t chunk) {
+        return fs_->reserve_ost(ost, chunk);
+      });
+  const double ingress_end = dst.ingress().reserve(
+      fs_->engine_->now(), bytes, fs_->config_->injection_bandwidth);
+  const double done =
+      std::max(osts_done, ingress_end) + fs_->config_->link_latency;
+  co_await fs_->engine_->sleep(done - fs_->engine_->now());
+  co_return Status::ok();
+}
+
+}  // namespace imc::lustre

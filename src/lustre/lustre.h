@@ -1,0 +1,135 @@
+// Lustre parallel-filesystem model.
+//
+// The MPI-IO baseline in the paper (Fig. 2) scales linearly in end-to-end
+// time with processor count because two fixed resources saturate:
+//   * a fixed set of object storage targets (OSTs) shares the aggregate
+//     bandwidth (1 TB/s over ~1008 OSTs on Titan, 744 GB/s over 248 on
+//     Cori), and
+//   * a very small number of metadata servers (4 on Titan, 1 on Cori)
+//     serializes opens/closes/stats.
+//
+// Both are modeled directly: each OST is a bandwidth link with a busy
+// horizon; each MDS is a serial server with a fixed per-op service time.
+// Files are striped round-robin over OSTs (lfs setstripe -stripe-size 1m
+// -stripe-count -1 in Table I means "stripe over all OSTs").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ndarray/ndarray.h"
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hpc/cluster.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace imc::lustre {
+
+struct StripeConfig {
+  std::uint64_t stripe_size = 1 * kMiB;
+  int stripe_count = -1;  // -1: stripe over all OSTs (Table I)
+};
+
+class FileSystem;
+
+// An open file: striping layout resolved against the OST set.
+class File {
+ public:
+  File(FileSystem* fs, std::string path, StripeConfig stripe, int first_ost)
+      : fs_(fs),
+        path_(std::move(path)),
+        stripe_(stripe),
+        first_ost_(first_ost) {}
+
+  const std::string& path() const { return path_; }
+  const StripeConfig& stripe() const { return stripe_; }
+
+  // Writes `bytes` at `offset` from a process on `src`. Completes when all
+  // stripe chunks have been accepted by their OSTs.
+  sim::Task<Status> write(hpc::Node& src, std::uint64_t offset,
+                          std::uint64_t bytes);
+  sim::Task<Status> read(hpc::Node& dst, std::uint64_t offset,
+                         std::uint64_t bytes);
+
+  std::uint64_t size() const { return size_; }
+
+ private:
+  friend class FileSystem;
+  FileSystem* fs_;
+  std::string path_;
+  StripeConfig stripe_;
+  int first_ost_;
+  std::uint64_t size_ = 0;
+};
+
+class FileSystem {
+ public:
+  FileSystem(sim::Engine& engine, net::Fabric& fabric,
+             const hpc::MachineConfig& config);
+
+  // Opens (creating if needed) a file: one metadata op on the responsible
+  // MDS, which is where per-rank opens pile up at scale.
+  sim::Task<Result<std::shared_ptr<File>>> open(const std::string& path,
+                                                StripeConfig stripe = {});
+
+  // Close/stat/unlink are metadata-only operations.
+  sim::Task<> close(const File& file);
+  sim::Task<> stat(const std::string& path);
+
+  // Resolves a handle to an already-opened file's layout without touching
+  // the MDS (collective open: only aggregators pay the metadata op; the
+  // other ranks receive the layout over the network).
+  std::shared_ptr<File> resolve(const std::string& path,
+                                StripeConfig stripe = {});
+
+  int ost_count() const { return static_cast<int>(osts_.size()); }
+  double aggregate_bandwidth() const;
+  double bytes_written() const { return bytes_written_; }
+  std::uint64_t metadata_ops() const { return metadata_ops_; }
+
+  // Exposed for tests: the busy horizon of one OST.
+  double ost_busy_until(int ost) const { return osts_[ost].busy_until; }
+
+  // Content store: self-describing objects recorded inside files (the BP
+  // format's payload, content-accurate so post-processing reads return the
+  // written data). Timing is handled by File::write/read; these are the
+  // byte-content bookkeeping calls.
+  void record_object(const std::string& path, const nda::VarDesc& var,
+                     nda::Slab slab);
+  std::vector<const nda::Slab*> find_objects(const std::string& path,
+                                             const nda::VarDesc& var,
+                                             const nda::Box& box) const;
+
+ private:
+  friend class File;
+
+  // One metadata operation on the MDS responsible for `key`; serialized
+  // per-MDS at mds_op_time.
+  sim::Task<> metadata_op(const std::string& key);
+
+  // Time at which a chunk written to `ost` completes.
+  double reserve_ost(int ost, std::uint64_t bytes);
+
+  sim::Engine* engine_;
+  net::Fabric* fabric_;
+  const hpc::MachineConfig* config_;
+  std::vector<hpc::LinkState> osts_;
+  std::vector<double> mds_busy_until_;
+  std::unordered_map<std::string, int> file_first_ost_;
+  struct StoredObject {
+    nda::VarDesc var;
+    nda::Slab slab;
+  };
+  std::unordered_map<std::string, std::vector<StoredObject>> objects_;
+  int next_first_ost_ = 0;
+  double bytes_written_ = 0;
+  std::uint64_t metadata_ops_ = 0;
+};
+
+}  // namespace imc::lustre

@@ -1,0 +1,21 @@
+#include "mem/memory.h"
+
+namespace imc::mem {
+
+std::string_view to_string(Tag tag) {
+  switch (tag) {
+    case Tag::kCalculation:
+      return "calculation";
+    case Tag::kLibrary:
+      return "library";
+    case Tag::kStaging:
+      return "staging";
+    case Tag::kIndex:
+      return "index";
+    case Tag::kTransform:
+      return "transform";
+  }
+  return "?";
+}
+
+}  // namespace imc::mem

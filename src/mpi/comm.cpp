@@ -1,0 +1,154 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+
+namespace imc::mpi {
+
+Comm::Comm(sim::Engine& engine, net::Fabric& fabric, hpc::Cluster& cluster,
+           std::vector<int> placement, int job, int pid_base)
+    : engine_(&engine),
+      fabric_(&fabric),
+      cluster_(&cluster),
+      placement_(std::move(placement)),
+      job_(job),
+      pid_base_(pid_base) {
+  inboxes_.resize(placement_.size());
+  coll_seq_.resize(placement_.size(), 0);
+}
+
+bool Comm::try_match(int rank, int source, int tag, Message* out) {
+  auto& inbox = inboxes_[static_cast<std::size_t>(rank)];
+  for (auto it = inbox.pending.begin(); it != inbox.pending.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      *out = std::move(*it);
+      inbox.pending.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Comm::deliver(int to, Message msg) {
+  auto& inbox = inboxes_[static_cast<std::size_t>(to)];
+  for (auto it = inbox.waiters.begin(); it != inbox.waiters.end(); ++it) {
+    if (matches(msg, it->source, it->tag)) {
+      *it->out = std::move(msg);
+      engine_->schedule_now(it->handle);
+      inbox.waiters.erase(it);
+      return;
+    }
+  }
+  inbox.pending.push_back(std::move(msg));
+}
+
+sim::Task<> Comm::send(int from, int to, int tag, std::uint64_t bytes,
+                       std::any payload) {
+  assert(from >= 0 && from < size() && to >= 0 && to < size());
+  co_await fabric_->transfer(node_of(from), node_of(to),
+                             bytes + kEnvelopeBytes);
+  deliver(to, Message{from, tag, bytes, std::move(payload)});
+}
+
+// Collectives must not cross-match with each other or with application
+// traffic, so each call gets a unique tag from a per-rank sequence counter.
+// MPI requires every rank to invoke collectives in the same program order,
+// so the i-th collective call of each rank lines up across ranks and the
+// per-rank counters agree without any shared-state race.
+
+int Comm::next_collective_tag(int rank) {
+  const int seq = coll_seq_[static_cast<std::size_t>(rank)]++;
+  return kCollectiveTagBase - seq * 64;
+}
+
+sim::Task<> Comm::barrier(int rank) {
+  // Dissemination barrier: ceil(log2 n) rounds of pairwise messages; when
+  // any rank completes, every rank has entered.
+  const int n = size();
+  const int base = next_collective_tag(rank);
+  if (n == 1) co_return;
+  int round = 0;
+  for (int dist = 1; dist < n; ++round, dist <<= 1) {
+    const int tag = base - round;
+    co_await send(rank, (rank + dist) % n, tag, 0);
+    (void)co_await recv(rank, (rank - dist + n) % n, tag);
+  }
+}
+
+sim::Task<double> Comm::bcast(int rank, int root, double value,
+                              std::uint64_t bytes) {
+  // Standard binomial broadcast, valid for any n.
+  const int n = size();
+  const int tag = next_collective_tag(rank);
+  if (n == 1) co_return value;
+  const int rel = (rank - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      Message m = co_await recv(rank, (rel - mask + root) % n, tag);
+      value = std::any_cast<double>(m.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      co_await send(rank, (rel + mask + root) % n, tag, bytes, value);
+    }
+    mask >>= 1;
+  }
+  co_return value;
+}
+
+sim::Task<double> Comm::reduce_sum(int rank, int root, double value,
+                                   std::uint64_t bytes) {
+  // Mirror of the binomial broadcast: leaves push partials toward the root.
+  const int n = size();
+  const int tag = next_collective_tag(rank);
+  if (n == 1) co_return value;
+  const int rel = (rank - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((rel & mask) == 0) {
+      const int src = rel | mask;
+      if (src < n) {
+        Message m = co_await recv(rank, (src + root) % n, tag);
+        value += std::any_cast<double>(m.payload);
+      }
+    } else {
+      co_await send(rank, (rel - mask + root) % n, tag, bytes, value);
+      co_return 0.0;
+    }
+    mask <<= 1;
+  }
+  co_return value;
+}
+
+sim::Task<double> Comm::allreduce_sum(int rank, double value,
+                                      std::uint64_t bytes) {
+  const double total = co_await reduce_sum(rank, 0, value, bytes);
+  co_return co_await bcast(rank, 0, total, bytes);
+}
+
+sim::Task<std::vector<double>> Comm::gather(int rank, int root,
+                                            std::vector<double> local) {
+  const int n = size();
+  const int tag = next_collective_tag(rank);
+  if (rank != root) {
+    co_await send(rank, root, tag, local.size() * sizeof(double),
+                  std::move(local));
+    co_return std::vector<double>{};
+  }
+  std::vector<std::vector<double>> parts(static_cast<std::size_t>(n));
+  parts[static_cast<std::size_t>(root)] = std::move(local);
+  for (int i = 0; i < n - 1; ++i) {
+    Message m = co_await recv(rank, kAnySource, tag);
+    parts[static_cast<std::size_t>(m.source)] =
+        std::any_cast<std::vector<double>>(std::move(m.payload));
+  }
+  std::vector<double> out;
+  for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  co_return out;
+}
+
+}  // namespace imc::mpi

@@ -1,0 +1,102 @@
+#include "mpi/file.h"
+
+#include <cassert>
+
+namespace imc::mpi {
+
+// Collective-call bookkeeping shared by all ranks' handles.
+struct File::Shared {
+  int collective_seq = 0;  // write_at_all round counter (tag space)
+};
+
+File::File(Comm* comm, lustre::FileSystem* fs,
+           std::shared_ptr<lustre::File> file)
+    : comm_(comm), fs_(fs), file_(std::move(file)),
+      shared_(std::make_shared<Shared>()) {}
+
+int File::aggregator_of(int rank) const {
+  // The lowest rank sharing this rank's node.
+  hpc::Node* node = &comm_->node_of(rank);
+  for (int r = 0; r <= rank; ++r) {
+    if (&comm_->node_of(r) == node) return r;
+  }
+  return rank;
+}
+
+sim::Task<Result<std::shared_ptr<File>>> File::open_all(
+    Comm& comm, int rank, lustre::FileSystem& fs, const std::string& path,
+    lustre::StripeConfig stripe) {
+  // Everyone synchronizes; only node aggregators touch the MDS.
+  co_await comm.barrier(rank);
+  std::shared_ptr<lustre::File> handle;
+  // Compute the aggregator without a File instance yet.
+  hpc::Node* node = &comm.node_of(rank);
+  int aggregator = rank;
+  for (int r = 0; r < rank; ++r) {
+    if (&comm.node_of(r) == node) {
+      aggregator = r;
+      break;
+    }
+  }
+  if (aggregator == rank) {
+    auto opened = co_await fs.open(path, stripe);
+    if (!opened.has_value()) co_return opened.status();
+    handle = std::move(*opened);
+  } else {
+    // Non-aggregators receive the layout from their aggregator; no MDS op.
+    handle = fs.resolve(path, stripe);
+  }
+  co_await comm.barrier(rank);
+  co_return std::shared_ptr<File>(new File(&comm, &fs, std::move(handle)));
+}
+
+sim::Task<Status> File::write_at_all(int rank, std::uint64_t offset,
+                                     std::uint64_t bytes) {
+  // Phase 0: all ranks enter the collective.
+  co_await comm_->barrier(rank);
+
+  // Each rank's handle advances its own round counter; MPI's collective
+  // ordering rule keeps the counters aligned across ranks.
+  const int aggregator = aggregator_of(rank);
+  const int tag = -1000000000 - shared_->collective_seq++;
+
+  if (!is_aggregator(rank)) {
+    // Phase 1: ship the buffer to the node aggregator (node-local copy).
+    co_await comm_->send(rank, aggregator, tag, bytes);
+    // Phase 2 happens at the aggregator; wait for its completion signal.
+    (void)co_await comm_->recv(rank, aggregator, tag);
+    co_return Status::ok();
+  }
+
+  // Aggregator: gather the node's buffers...
+  std::uint64_t total = bytes;
+  std::vector<int> members;
+  for (int r = 0; r < comm_->size(); ++r) {
+    if (r != rank && aggregator_of(r) == rank) members.push_back(r);
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Message m = co_await comm_->recv(rank, kAnySource, tag);
+    total += m.bytes;
+  }
+  // ...issue one large contiguous write...
+  if (Status st = co_await file_->write(comm_->node_of(rank), offset, total);
+      !st.is_ok()) {
+    co_return st;
+  }
+  // ...and release the waiting members.
+  for (int member : members) {
+    co_await comm_->send(rank, member, tag, 0);
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Status> File::close_all(int rank) {
+  co_await comm_->barrier(rank);
+  if (is_aggregator(rank)) {
+    co_await fs_->close(*file_);
+  }
+  co_await comm_->barrier(rank);
+  co_return Status::ok();
+}
+
+}  // namespace imc::mpi

@@ -1,0 +1,58 @@
+// Collective MPI-IO over the Lustre model (MPI_File_open/write_at_all).
+//
+// Implements two-phase collective buffering, the mechanism ROMIO uses on
+// Lustre: ranks synchronize, ship their buffers to one aggregator per node,
+// and the aggregators issue large contiguous writes. This is why collective
+// MPI-IO scales better than independent writes — fewer, larger OST requests
+// and far fewer metadata operations — and it is the "MPI_AGGREGATE" method
+// ADIOS offers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "lustre/lustre.h"
+#include "mpi/comm.h"
+#include "sim/sync.h"
+
+namespace imc::mpi {
+
+class File {
+ public:
+  // Collective open: every rank calls; one metadata operation per NODE
+  // (the aggregators open) rather than per rank.
+  static sim::Task<Result<std::shared_ptr<File>>> open_all(
+      Comm& comm, int rank, lustre::FileSystem& fs, const std::string& path,
+      lustre::StripeConfig stripe = {});
+
+  // Collective write: every rank contributes `bytes` at `offset`. Ranks
+  // forward their data to their node's aggregator; aggregators write the
+  // combined buffers. Completes (for every rank) when the slowest
+  // aggregator finished.
+  sim::Task<Status> write_at_all(int rank, std::uint64_t offset,
+                                 std::uint64_t bytes);
+
+  // Collective close: aggregators release the handle (one MDS op each).
+  sim::Task<Status> close_all(int rank);
+
+  std::uint64_t size() const { return file_ ? file_->size() : 0; }
+
+ private:
+  struct Shared;
+
+  File(Comm* comm, lustre::FileSystem* fs, std::shared_ptr<lustre::File> file);
+
+  // The lowest rank on each node aggregates for that node.
+  int aggregator_of(int rank) const;
+  bool is_aggregator(int rank) const { return aggregator_of(rank) == rank; }
+
+  Comm* comm_;
+  lustre::FileSystem* fs_;
+  std::shared_ptr<lustre::File> file_;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace imc::mpi

@@ -1,0 +1,256 @@
+#include "ndarray/ndarray.h"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace imc::nda {
+
+Box::Box(Dims lower, Dims upper) : lb(std::move(lower)), ub(std::move(upper)) {
+  assert(lb.size() == ub.size());
+  for (std::size_t d = 0; d < lb.size(); ++d) assert(lb[d] <= ub[d]);
+}
+
+Box Box::whole(const Dims& global) {
+  return Box(Dims(global.size(), 0), global);
+}
+
+std::uint64_t Box::volume() const {
+  std::uint64_t v = 1;
+  for (std::size_t d = 0; d < lb.size(); ++d) v *= ub[d] - lb[d];
+  return lb.empty() ? 0 : v;
+}
+
+bool Box::contains(const Box& other) const {
+  if (other.dims() != dims()) return false;
+  for (std::size_t d = 0; d < lb.size(); ++d) {
+    if (other.lb[d] < lb[d] || other.ub[d] > ub[d]) return false;
+  }
+  return true;
+}
+
+bool Box::contains_point(const Dims& p) const {
+  if (p.size() != lb.size()) return false;
+  for (std::size_t d = 0; d < lb.size(); ++d) {
+    if (p[d] < lb[d] || p[d] >= ub[d]) return false;
+  }
+  return true;
+}
+
+std::string Box::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t d = 0; d < lb.size(); ++d) {
+    if (d != 0) os << ", ";
+    os << lb[d] << ".." << ub[d];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::optional<Box> intersect(const Box& a, const Box& b) {
+  if (a.dims() != b.dims()) return std::nullopt;
+  Box out;
+  out.lb.resize(a.lb.size());
+  out.ub.resize(a.ub.size());
+  for (std::size_t d = 0; d < a.lb.size(); ++d) {
+    out.lb[d] = std::max(a.lb[d], b.lb[d]);
+    out.ub[d] = std::min(a.ub[d], b.ub[d]);
+    if (out.lb[d] >= out.ub[d]) return std::nullopt;
+  }
+  return out;
+}
+
+Status check_dims_32bit(const Dims& global) {
+  constexpr std::uint64_t kMax32 = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t volume = 1;
+  for (std::uint64_t extent : global) {
+    if (extent > kMax32) {
+      return make_error(ErrorCode::kDimensionOverflow,
+                        "dimension extent " + std::to_string(extent) +
+                            " exceeds 32-bit range");
+    }
+    // The libraries also computed element counts in 32-bit.
+    if (extent != 0 && volume > kMax32 / extent) {
+      return make_error(ErrorCode::kDimensionOverflow,
+                        "element count overflows 32-bit arithmetic");
+    }
+    volume *= extent;
+  }
+  return Status::ok();
+}
+
+std::vector<Box> decompose_1d(const Dims& global, int parts, int dim) {
+  assert(parts >= 1);
+  assert(dim >= 0 && dim < static_cast<int>(global.size()));
+  const std::uint64_t extent = global[static_cast<std::size_t>(dim)];
+  assert(static_cast<std::uint64_t>(parts) <= extent);
+  std::vector<Box> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const std::uint64_t base = extent / static_cast<std::uint64_t>(parts);
+  const std::uint64_t rem = extent % static_cast<std::uint64_t>(parts);
+  std::uint64_t lo = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::uint64_t len =
+        base + (static_cast<std::uint64_t>(p) < rem ? 1 : 0);
+    Box box = Box::whole(global);
+    box.lb[static_cast<std::size_t>(dim)] = lo;
+    box.ub[static_cast<std::size_t>(dim)] = lo + len;
+    out.push_back(std::move(box));
+    lo += len;
+  }
+  return out;
+}
+
+std::vector<Box> decompose_grid(const Dims& global,
+                                const std::vector<int>& procs_per_dim) {
+  assert(procs_per_dim.size() == global.size());
+  // Per-dimension cut points via decompose_1d on each axis.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> cuts(
+      global.size());
+  for (std::size_t d = 0; d < global.size(); ++d) {
+    auto blocks = decompose_1d(global, procs_per_dim[d], static_cast<int>(d));
+    for (const auto& b : blocks) cuts[d].push_back({b.lb[d], b.ub[d]});
+  }
+  // Cartesian product, last dimension fastest (row-major rank order).
+  std::vector<Box> out;
+  std::size_t total = 1;
+  for (int p : procs_per_dim) total *= static_cast<std::size_t>(p);
+  out.reserve(total);
+  std::vector<std::size_t> idx(global.size(), 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    Box box;
+    box.lb.resize(global.size());
+    box.ub.resize(global.size());
+    for (std::size_t d = 0; d < global.size(); ++d) {
+      box.lb[d] = cuts[d][idx[d]].first;
+      box.ub[d] = cuts[d][idx[d]].second;
+    }
+    out.push_back(std::move(box));
+    for (std::size_t d = global.size(); d-- > 0;) {
+      if (++idx[d] < cuts[d].size()) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+int longest_dim(const Dims& global) {
+  int best = 0;
+  for (std::size_t d = 1; d < global.size(); ++d) {
+    if (global[d] > global[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(d);
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<int, Box>> intersecting(const std::vector<Box>& boxes,
+                                              const Box& target) {
+  std::vector<std::pair<int, Box>> out;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (auto overlap = intersect(boxes[i], target)) {
+      out.emplace_back(static_cast<int>(i), std::move(*overlap));
+    }
+  }
+  return out;
+}
+
+std::uint64_t VarDesc::total_bytes() const {
+  std::uint64_t v = global.empty() ? 0 : 1;
+  for (std::uint64_t e : global) v *= e;
+  return v * kElementBytes;
+}
+
+double synthetic_value(std::uint64_t seed, const Dims& coord) {
+  std::uint64_t h = splitmix64(seed);
+  for (std::uint64_t c : coord) h = splitmix64(h ^ c);
+  // Map to (-1, 1) with full mantissa use.
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+Slab Slab::materialized(Box box, std::vector<double> data) {
+  assert(data.size() == box.volume());
+  Slab s;
+  s.box_ = std::move(box);
+  s.materialized_ = true;
+  s.data_ = std::move(data);
+  return s;
+}
+
+Slab Slab::synthetic(Box box, std::uint64_t seed) {
+  Slab s;
+  s.box_ = std::move(box);
+  s.materialized_ = false;
+  s.seed_ = seed;
+  return s;
+}
+
+Slab Slab::zeros(Box box) {
+  std::vector<double> data(box.volume(), 0.0);
+  return materialized(std::move(box), std::move(data));
+}
+
+std::uint64_t Slab::offset_of(const Dims& coord) const {
+  std::uint64_t off = 0;
+  for (std::size_t d = 0; d < coord.size(); ++d) {
+    assert(coord[d] >= box_.lb[d] && coord[d] < box_.ub[d]);
+    off = off * box_.extent(static_cast<int>(d)) + (coord[d] - box_.lb[d]);
+  }
+  return off;
+}
+
+double Slab::at(const Dims& coord) const {
+  if (!materialized_) return synthetic_value(seed_, coord);
+  return data_[offset_of(coord)];
+}
+
+void Slab::set(const Dims& coord, double value) {
+  assert(materialized_);
+  data_[offset_of(coord)] = value;
+}
+
+template <typename Fn>
+void Slab::for_each_coord(const Box& within, Fn&& fn) const {
+  if (within.empty()) return;
+  Dims coord = within.lb;
+  for (;;) {
+    fn(coord);
+    // Odometer increment, last dimension fastest (row-major order).
+    std::size_t d = coord.size();
+    while (d-- > 0) {
+      if (++coord[d] < within.ub[d]) break;
+      coord[d] = within.lb[d];
+      if (d == 0) return;  // every dimension wrapped: done
+    }
+  }
+}
+
+void Slab::fill_from(const Slab& src) {
+  assert(materialized_);
+  auto overlap = intersect(box_, src.box());
+  if (!overlap) return;
+  for_each_coord(*overlap, [&](const Dims& coord) {
+    data_[offset_of(coord)] = src.at(coord);
+  });
+}
+
+Slab Slab::extract(const Box& sub) const {
+  assert(box_.contains(sub));
+  if (!materialized_) return synthetic(sub, seed_);
+  Slab out = zeros(sub);
+  out.fill_from(*this);
+  return out;
+}
+
+double Slab::checksum() const {
+  double sum = 0;
+  for_each_coord(box_, [&](const Dims& coord) {
+    std::uint64_t h = 0x9e3779b9;
+    for (std::uint64_t c : coord) h = splitmix64(h ^ c);
+    sum += static_cast<double>(h >> 40) * at(coord);
+  });
+  return sum;
+}
+
+}  // namespace imc::nda

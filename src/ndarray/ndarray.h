@@ -1,0 +1,147 @@
+// N-dimensional global arrays, bounding boxes, decompositions and slabs.
+//
+// This is the data model every staging library in the study shares: a
+// variable is a global n-D array of doubles; each writer puts a rectangular
+// slab of it; readers get (possibly different) rectangular slabs. The
+// decomposition geometry is exactly what the paper's Finding 3 is about, so
+// boxes/decompositions are first-class and unit-tested.
+//
+// Slabs carry *real* element data so tests can assert that what a reader
+// gets equals what writers put under any decomposition. For the paper-scale
+// runs (128 MB x 1024 ranks), materializing every element is impossible in a
+// test container, so a slab can instead be "synthetic": its content is
+// defined by a pure function of (seed, global coordinate). Extraction and
+// assembly preserve the definition, so correctness checks (sampled equality,
+// checksums) work identically in both modes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace imc::nda {
+
+using Dims = std::vector<std::uint64_t>;
+
+// Half-open axis-aligned box: [lb[d], ub[d]) per dimension.
+struct Box {
+  Dims lb;
+  Dims ub;
+
+  Box() = default;
+  Box(Dims lower, Dims upper);
+  static Box whole(const Dims& global);
+
+  int dims() const { return static_cast<int>(lb.size()); }
+  std::uint64_t extent(int d) const {
+    return ub[static_cast<std::size_t>(d)] - lb[static_cast<std::size_t>(d)];
+  }
+  std::uint64_t volume() const;
+  bool empty() const { return volume() == 0; }
+  bool contains(const Box& other) const;
+  bool contains_point(const Dims& p) const;
+
+  std::string to_string() const;
+  bool operator==(const Box&) const = default;
+};
+
+std::optional<Box> intersect(const Box& a, const Box& b);
+
+// The real libraries carried 32-bit dimension arithmetic for years (Table IV
+// "data dimension overflow"); this checker reports when a global geometry
+// would overflow it, so the compat mode of the libraries can reproduce the
+// failure and the fixed mode can prove the 64-bit resolve.
+Status check_dims_32bit(const Dims& global);
+
+// --- Decompositions -------------------------------------------------------
+
+// Splits `global` into `parts` equal blocks along dimension `dim`
+// (remainder spread over the first blocks). parts must be <= extent.
+std::vector<Box> decompose_1d(const Dims& global, int parts, int dim);
+
+// Cartesian block grid: procs_per_dim[d] blocks along dimension d.
+std::vector<Box> decompose_grid(const Dims& global,
+                                const std::vector<int>& procs_per_dim);
+
+// Index of the longest dimension (ties -> lowest index). DataSpaces cuts
+// its staging regions along this dimension (§III-B4).
+int longest_dim(const Dims& global);
+
+// All (index, overlap) pairs of `boxes` that intersect `target`.
+std::vector<std::pair<int, Box>> intersecting(const std::vector<Box>& boxes,
+                                              const Box& target);
+
+// --- Variables & slabs ----------------------------------------------------
+
+inline constexpr std::uint64_t kElementBytes = sizeof(double);
+
+// A named versioned global array (one entry per timestep).
+struct VarDesc {
+  std::string name;
+  Dims global;
+  int version = 0;
+
+  std::uint64_t total_bytes() const;
+  bool operator==(const VarDesc&) const = default;
+};
+
+// Deterministic content function for synthetic slabs.
+double synthetic_value(std::uint64_t seed, const Dims& coord);
+
+class Slab {
+ public:
+  Slab() = default;
+
+  // Real content (row-major over box extents). data.size() must equal the
+  // box volume.
+  static Slab materialized(Box box, std::vector<double> data);
+
+  // Content defined by synthetic_value(seed, global coordinate).
+  static Slab synthetic(Box box, std::uint64_t seed);
+
+  // Materialized zero-filled slab (assembly target).
+  static Slab zeros(Box box);
+
+  const Box& box() const { return box_; }
+  bool is_materialized() const { return materialized_; }
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t declared_bytes() const { return box_.volume() * kElementBytes; }
+
+  // Element at a global coordinate (must lie inside the box).
+  double at(const Dims& coord) const;
+  void set(const Dims& coord, double value);  // materialized only
+
+  // Copies the intersection of `src` into this slab (materialized target;
+  // synthetic or materialized source).
+  void fill_from(const Slab& src);
+
+  // A new slab covering `sub` (must be inside the box) with the same
+  // content. Synthetic slabs stay synthetic (no copy).
+  Slab extract(const Box& sub) const;
+
+  // Order-independent content fingerprint over the slab: sum of
+  // hash(coord) * value over all elements. Equal content <=> equal
+  // checksum regardless of how the region was decomposed. For synthetic
+  // slabs, computed analytically by sampling is wrong — so it walks all
+  // elements; use only on test-sized slabs.
+  double checksum() const;
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::uint64_t offset_of(const Dims& coord) const;
+  template <typename Fn>
+  void for_each_coord(const Box& within, Fn&& fn) const;
+
+  Box box_;
+  bool materialized_ = false;
+  std::uint64_t seed_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace imc::nda

@@ -1,0 +1,65 @@
+#include "net/drc.h"
+
+namespace imc::net {
+
+sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
+  if (credentialed_.contains(pid)) co_return Status::ok();
+
+  // Coalesce onto a grant already in flight for this pid.
+  if (auto it = in_flight_.find(pid); it != in_flight_.end()) {
+    auto event = it->second;  // keep alive across the wait
+    co_await event->wait();
+    if (credentialed_.contains(pid)) co_return Status::ok();
+    co_return make_error(ErrorCode::kDrcOverload,
+                         "coalesced DRC grant failed for pid " +
+                             std::to_string(pid));
+  }
+
+  // Node-sharing policy: a second job on the same node may not reuse the
+  // network domain unless node-insecure is enabled.
+  auto& jobs = jobs_on_node_[node_id];
+  if (!jobs.empty() && !jobs.contains(job) && !config_->drc_node_insecure) {
+    ++rejected_;
+    co_return make_error(
+        ErrorCode::kPermissionDenied,
+        "DRC: credential sharing between jobs on node " +
+            std::to_string(node_id) + " requires the node-insecure option");
+  }
+
+  // Admission: the centralized server tracks outstanding requests; beyond
+  // its capacity it sheds load and the requester fails — unless the
+  // metering indirection is enabled, in which case the requester waits its
+  // turn.
+  while (outstanding_ >= config_->drc_capacity) {
+    if (!metered_) {
+      ++rejected_;
+      co_return make_error(ErrorCode::kDrcOverload,
+                           "DRC service overwhelmed: " +
+                               std::to_string(outstanding_) +
+                               " outstanding requests");
+    }
+    co_await engine_->sleep(config_->drc_service_time);
+  }
+  ++outstanding_;
+  peak_outstanding_ = std::max(peak_outstanding_, outstanding_);
+  auto event = std::make_shared<sim::Event>(*engine_);
+  in_flight_.emplace(pid, event);
+
+  // Serialized service: each grant takes drc_service_time on the single
+  // server.
+  co_await server_.acquire();
+  co_await engine_->sleep(config_->drc_service_time);
+  server_.release();
+
+  --outstanding_;
+  credentialed_.insert(pid);
+  jobs_on_node_[node_id].insert(job);
+  ++granted_;
+  in_flight_.erase(pid);
+  event->set();
+  co_return Status::ok();
+}
+
+void DrcService::release(int pid) { credentialed_.erase(pid); }
+
+}  // namespace imc::net

@@ -1,0 +1,71 @@
+// Dynamic RDMA Credentials (DRC) service model (Cori).
+//
+// On Cray XC systems, two applications that want to RDMA into each other's
+// memory across job boundaries must obtain a shared credential from the DRC
+// service before communicating (Shimek et al., CUG 2016). The paper reports
+// two failure modes, both reproduced here:
+//
+//  1. Scale: DRC is a single centralized service. A large workflow issues
+//     one credential request per process at startup; when the number of
+//     outstanding requests exceeds the service's capacity, requests fail
+//     and the workflow aborts (LAMMPS/Laplace at (8192, 4096), Fig. 2).
+//  2. Node sharing: by default a credential may not be used by two jobs
+//     running on the same node unless the "node-insecure" option is set
+//     (§III-B7) — which is why Fig. 13 runs DataSpaces over sockets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "hpc/machine.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace imc::net {
+
+class DrcService {
+ public:
+  // `metered`: Table IV's suggested resolve — an indirection layer that
+  // queues requests beyond the service capacity instead of shedding them.
+  // Large workflows then start slower instead of crashing.
+  DrcService(sim::Engine& engine, const hpc::MachineConfig& config,
+             bool metered = false)
+      : engine_(&engine),
+        config_(&config),
+        metered_(metered),
+        server_(engine, 1)  // one credential server, serialized
+  {}
+
+  // Acquires a credential for process `pid` of job `job` running on node
+  // `node_id`. Idempotent per process.
+  sim::Task<Status> acquire(int pid, int job, int node_id);
+
+  void release(int pid);
+
+  int outstanding() const { return outstanding_; }
+  int peak_outstanding() const { return peak_outstanding_; }
+  std::uint64_t granted() const { return granted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  sim::Engine* engine_;
+  const hpc::MachineConfig* config_;
+  bool metered_;
+  sim::Semaphore server_;
+  std::set<int> credentialed_;        // pids holding a credential
+  // Grants in flight: concurrent requests for the same pid coalesce onto
+  // the first one instead of each paying a server round trip.
+  std::map<int, std::shared_ptr<sim::Event>> in_flight_;
+  std::map<int, std::set<int>> jobs_on_node_;  // node -> jobs with credential
+  int outstanding_ = 0;
+  int peak_outstanding_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace imc::net

@@ -1,0 +1,14 @@
+// A communication endpoint: one simulated process pinned to a node.
+#pragma once
+
+#include "hpc/cluster.h"
+
+namespace imc::net {
+
+struct Endpoint {
+  int pid = -1;   // globally unique process id
+  int job = 0;    // job id (e.g. 0 = simulation, 1 = analytics, 2 = staging)
+  hpc::Node* node = nullptr;
+};
+
+}  // namespace imc::net

@@ -1,0 +1,64 @@
+#include "net/fabric.h"
+#include <cmath>
+#include <cstdlib>
+
+namespace imc::net {
+
+int Fabric::hop_count(const hpc::Node& src, const hpc::Node& dst) const {
+  if (&src == &dst) return 0;
+  switch (config_->fabric) {
+    case hpc::FabricType::kGemini: {
+      // 3-D torus: per-dimension wraparound distance summed.
+      const int dims[3] = {config_->torus_x, config_->torus_y,
+                           config_->torus_z};
+      int a = src.id(), b = dst.id(), hops = 0;
+      for (int d = 0; d < 3; ++d) {
+        const int ca = a % dims[d], cb = b % dims[d];
+        a /= dims[d];
+        b /= dims[d];
+        const int direct = std::abs(ca - cb);
+        hops += std::min(direct, dims[d] - direct);
+      }
+      return std::max(1, hops);
+    }
+    case hpc::FabricType::kAries: {
+      // Dragonfly: 2 hops inside a group, 3 across groups.
+      const int group_a = src.id() / config_->dragonfly_group_nodes;
+      const int group_b = dst.id() / config_->dragonfly_group_nodes;
+      return group_a == group_b ? 2 : 3;
+    }
+    case hpc::FabricType::kGeneric:
+      return 1;
+  }
+  return 1;
+}
+
+double Fabric::reserve_transfer(hpc::Node& src, hpc::Node& dst,
+                                std::uint64_t bytes, double bandwidth_cap) {
+  const double now = engine_->now();
+  ++transfers_;
+  bytes_total_ += static_cast<double>(bytes);
+
+  if (&src == &dst) {
+    // Node-local move: a memory copy, no NIC involvement.
+    return now + static_cast<double>(bytes) / config_->shm_bandwidth +
+           config_->shm_latency;
+  }
+
+  const double bw = effective_bandwidth(bandwidth_cap);
+  const double lat = latency(src, dst);
+
+  const double egress_end = src.egress().reserve(now, bytes, bw);
+  const double egress_start = egress_end - static_cast<double>(bytes) / bw;
+  const double ingress_end =
+      dst.ingress().reserve(egress_start + lat, bytes, bw);
+  return std::max(ingress_end, egress_end + lat);
+}
+
+sim::Task<> Fabric::transfer(hpc::Node& src, hpc::Node& dst,
+                             std::uint64_t bytes, double bandwidth_cap) {
+  const double done_at = reserve_transfer(src, dst, bytes, bandwidth_cap);
+  co_await engine_->sleep(done_at - engine_->now());
+}
+
+}  // namespace imc::net

@@ -1,0 +1,227 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+namespace imc::net {
+namespace {
+
+// NNTI adds a request/result handshake around each RDMA op and stages
+// through its own pinned buffers; modeled as a small fixed overhead plus a
+// slightly lower effective rate than raw uGNI.
+constexpr double kNntiPerTransferOverhead = 15e-6;  // seconds
+constexpr double kNntiEfficiency = 0.97;
+
+// Per-message socket cost beyond the copy-bandwidth cap: syscall + TCP
+// bookkeeping on both ends.
+constexpr double kSocketPerTransferOverhead = 30e-6;  // seconds
+
+// DART/NNTI move large payloads as a pipeline of bounded fragments, so a
+// transfer's *transient* registration footprint is one fragment, not the
+// whole payload. (Persistent staging registrations — the paper's capacity
+// killer — are made by the libraries through RdmaPool directly.)
+constexpr std::uint64_t kRdmaFragmentBytes = 32ull * 1024 * 1024;
+
+std::pair<int, int> pair_key(const Endpoint& a, const Endpoint& b) {
+  return {std::min(a.pid, b.pid), std::max(a.pid, b.pid)};
+}
+
+}  // namespace
+
+std::string_view to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kRdmaUgni:
+      return "ugni";
+    case TransportKind::kRdmaNnti:
+      return "nnti";
+    case TransportKind::kSockets:
+      return "sockets";
+    case TransportKind::kSharedMemory:
+      return "shm";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- RDMA ----
+
+sim::Task<Status> RdmaTransport::connect(const Endpoint& a,
+                                         const Endpoint& b) {
+  if (drc_ != nullptr) {
+    if (Status s = co_await drc_->acquire(a.pid, a.job, a.node->id());
+        !s.is_ok()) {
+      co_return s;
+    }
+    if (Status s = co_await drc_->acquire(b.pid, b.job, b.node->id());
+        !s.is_ok()) {
+      co_return s;
+    }
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
+                                          const Endpoint& to,
+                                          std::uint64_t bytes,
+                                          TransferOptions opts) {
+  ++transfer_count_;
+
+  // Synchronous uGNI-style registration: fails immediately when the node's
+  // registered-memory capacity or handler count is exhausted (§III-B1).
+  const std::uint64_t reg_bytes = std::min(bytes, kRdmaFragmentBytes);
+  bool src_registered = false;
+  if (!opts.src_pinned) {
+    if (Status s = from.node->rdma().register_memory(reg_bytes); !s.is_ok()) {
+      co_return s;
+    }
+    src_registered = true;
+  }
+  if (!opts.dst_pinned) {
+    if (Status s = to.node->rdma().register_memory(reg_bytes); !s.is_ok()) {
+      if (src_registered) from.node->rdma().deregister(reg_bytes);
+      co_return s;
+    }
+  }
+
+  if (kind_ == TransportKind::kRdmaNnti) {
+    co_await engine_->sleep(kNntiPerTransferOverhead);
+    co_await fabric_->transfer(
+        *from.node, *to.node, bytes,
+        fabric_->config().injection_bandwidth * kNntiEfficiency);
+  } else {
+    co_await fabric_->transfer(*from.node, *to.node, bytes);
+  }
+
+  if (src_registered) from.node->rdma().deregister(reg_bytes);
+  if (!opts.dst_pinned) to.node->rdma().deregister(reg_bytes);
+  co_return Status::ok();
+}
+
+// ------------------------------------------------------------- Sockets ----
+
+std::pair<int, int> SocketTransport::node_key(const Endpoint& a,
+                                              const Endpoint& b) {
+  return {std::min(a.node->id(), b.node->id()),
+          std::max(a.node->id(), b.node->id())};
+}
+
+sim::Task<Status> SocketTransport::connect(const Endpoint& a,
+                                           const Endpoint& b) {
+  if (pool_.enabled) {
+    auto [it, inserted] = pools_.try_emplace(node_key(a, b));
+    if (!inserted) co_return Status::ok();  // reuse the node pair's pool
+    Pool& pool = it->second;
+    pool.a_node = a.node;
+    pool.b_node = b.node;
+    // The pool's streams are the only descriptors this node pair uses.
+    for (int s = 0; s < pool_.streams_per_node_pair; ++s) {
+      if (Status st = a.node->sockets().open(); !st.is_ok()) break;
+      if (Status st = b.node->sockets().open(); !st.is_ok()) {
+        a.node->sockets().close();
+        break;
+      }
+      ++pool.streams;
+    }
+    if (pool.streams == 0) {
+      pools_.erase(it);
+      co_return make_error(ErrorCode::kOutOfSockets,
+                           "no descriptors left even for a pooled stream");
+    }
+    pool.slots = std::make_unique<sim::Semaphore>(
+        *engine_, static_cast<std::uint64_t>(pool.streams));
+    co_await engine_->sleep(fabric_->config().socket_setup_time);
+    co_return Status::ok();
+  }
+
+  const auto key = pair_key(a, b);
+  if (connections_.contains(key)) co_return Status::ok();
+
+  // One descriptor on each endpoint's node.
+  if (Status s = a.node->sockets().open(); !s.is_ok()) co_return s;
+  if (Status s = b.node->sockets().open(); !s.is_ok()) {
+    a.node->sockets().close();
+    co_return s;
+  }
+  connections_.emplace(key, Conn{a.node, b.node});
+  co_await engine_->sleep(fabric_->config().socket_setup_time);
+  co_return Status::ok();
+}
+
+sim::Task<Status> SocketTransport::transfer(const Endpoint& from,
+                                            const Endpoint& to,
+                                            std::uint64_t bytes,
+                                            TransferOptions opts) {
+  (void)opts;  // sockets copy regardless of pinning
+  ++transfer_count_;
+  if (pool_.enabled) {
+    auto it = pools_.find(node_key(from, to));
+    if (it == pools_.end()) {
+      co_return make_error(ErrorCode::kConnectionFailed,
+                           "no socket pool between nodes " +
+                               std::to_string(from.node->id()) + " and " +
+                               std::to_string(to.node->id()));
+    }
+    // Multiplexing: wait for a free stream in the shared pool.
+    co_await it->second.slots->acquire();
+    co_await engine_->sleep(kSocketPerTransferOverhead);
+    co_await fabric_->transfer(*from.node, *to.node, bytes,
+                               fabric_->config().socket_copy_bandwidth);
+    it->second.slots->release();
+    co_return Status::ok();
+  }
+  if (!connections_.contains(pair_key(from, to))) {
+    co_return make_error(ErrorCode::kConnectionFailed,
+                         "no socket connection between pid " +
+                             std::to_string(from.pid) + " and pid " +
+                             std::to_string(to.pid));
+  }
+  // The stream rate is capped by the memory-copy cost across the network
+  // stack (§III-B5, [38]-[41]).
+  co_await engine_->sleep(kSocketPerTransferOverhead);
+  co_await fabric_->transfer(*from.node, *to.node, bytes,
+                             fabric_->config().socket_copy_bandwidth);
+  co_return Status::ok();
+}
+
+void SocketTransport::disconnect_all(const Endpoint& e) {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->first.first == e.pid || it->first.second == e.pid) {
+      it->second.a_node->sockets().close();
+      it->second.b_node->sockets().close();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ------------------------------------------------------ Shared memory -----
+
+sim::Task<Status> ShmTransport::connect(const Endpoint& a, const Endpoint& b) {
+  if (a.node != b.node) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                         "shared-memory transport requires colocated "
+                         "endpoints");
+  }
+  if (!config_->allows_node_sharing && a.job != b.job) {
+    co_return make_error(ErrorCode::kPermissionDenied,
+                         config_->name +
+                             " does not allow multiple jobs on one node");
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Status> ShmTransport::transfer(const Endpoint& from,
+                                         const Endpoint& to,
+                                         std::uint64_t bytes,
+                                         TransferOptions opts) {
+  (void)opts;
+  ++transfer_count_;
+  if (from.node != to.node) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                         "shared-memory transfer across nodes");
+  }
+  co_await engine_->sleep(config_->shm_latency +
+                          static_cast<double>(bytes) / config_->shm_bandwidth);
+  co_return Status::ok();
+}
+
+}  // namespace imc::net

@@ -1,0 +1,100 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <exception>
+
+namespace imc::sim {
+namespace {
+
+// RootTask: the detached wrapper coroutine created by Engine::spawn. It owns
+// the user Task for its whole lifetime and self-destroys at final suspend.
+struct RootTask {
+  struct promise_type {
+    Engine* engine = nullptr;
+
+    RootTask get_return_object() {
+      return RootTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Unregisters and destroys the frame; control returns to the
+        // resumer (the engine loop or a completing awaitable).
+        h.promise().engine->on_root_done(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        engine->record_failure(e.what());
+      } catch (...) {
+        engine->record_failure("unknown exception escaped a process");
+      }
+    }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+RootTask make_root(Task<> task) { co_await std::move(task); }
+
+}  // namespace
+
+void Engine::on_root_done(std::coroutine_handle<> root) {
+  auto it = roots_.find(root.address());
+  assert(it != roots_.end());
+  roots_.erase(it);
+  root.destroy();
+}
+
+Engine::~Engine() { reap_processes(); }
+
+void Engine::reap_processes() {
+  // Reclaim processes still parked on primitives (e.g. servers waiting for
+  // requests that will never come after the workflow finished).
+  // Destroying a suspended coroutine unwinds its locals, which cascades into
+  // any child Task frames it owns.
+  auto roots = std::move(roots_);
+  roots_.clear();
+  for (auto& [addr, handle] : roots) {
+    (void)addr;
+    handle.destroy();
+  }
+}
+
+void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+void Engine::spawn(Task<> task) {
+  RootTask root = make_root(std::move(task));
+  root.handle.promise().engine = this;
+  roots_.emplace(root.handle.address(), root.handle);
+  schedule_now(root.handle);
+}
+
+std::size_t Engine::run() { return run_until(-1); }
+
+std::size_t Engine::run_until(SimTime deadline) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (deadline >= 0 && ev.time > deadline) break;
+    queue_.pop();
+    now_ = ev.time;
+    ++processed;
+    ev.handle.resume();
+  }
+  return processed;
+}
+
+}  // namespace imc::sim

@@ -1,0 +1,106 @@
+// Discrete-event simulation engine.
+//
+// The engine owns virtual time and a min-heap of (time, sequence) ->
+// coroutine handle events. All simulated concurrency is cooperative and
+// single-threaded, so runs are fully deterministic: two processes scheduled
+// for the same instant resume in the order they were scheduled.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace imc::sim {
+
+using SimTime = double;  // seconds of virtual time
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules a raw coroutine handle. Used by awaitables; most code should
+  // use sleep()/spawn() instead.
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // co_await engine.sleep(dt): resume dt simulated seconds later.
+  [[nodiscard]] auto sleep(SimTime dt) {
+    struct Awaiter {
+      Engine* engine;
+      SimTime wake_at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->schedule_at(wake_at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + (dt > 0 ? dt : 0)};
+  }
+
+  // co_await engine.yield(): requeue at the current instant, letting other
+  // ready processes run first.
+  [[nodiscard]] auto yield() { return sleep(0); }
+
+  // Starts a detached process. Its coroutine frame is owned by the engine
+  // and reclaimed on completion (or on engine destruction if it never
+  // finishes, e.g. a server parked on an empty queue at the end of a run).
+  void spawn(Task<> task);
+
+  // Runs until the event queue drains. Returns the number of events
+  // processed. Processes still alive afterwards are blocked on primitives
+  // (visible via active_processes()).
+  std::size_t run();
+
+  // Runs until the event queue drains or virtual time would exceed deadline.
+  std::size_t run_until(SimTime deadline);
+
+  // Destroys all still-parked processes now. Call before tearing down
+  // objects those processes reference (their frames run destructors — e.g.
+  // a Flexpath writer's close() — which must not observe freed state).
+  void reap_processes();
+
+  std::size_t active_processes() const { return roots_.size(); }
+
+  // Uncaught exceptions from spawned processes are recorded here rather than
+  // terminating the simulation; tests assert this list is empty.
+  const std::vector<std::string>& process_failures() const {
+    return failures_;
+  }
+  void record_failure(std::string what) {
+    failures_.push_back(std::move(what));
+  }
+
+  // Internal: called by the detached-process wrapper at final suspend.
+  void on_root_done(std::coroutine_handle<> root);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Live detached processes, keyed by frame address (handle recoverable via
+  // from_address). Needed so ~Engine can reclaim parked processes.
+  std::unordered_map<void*, std::coroutine_handle<>> roots_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace imc::sim

@@ -1,0 +1,206 @@
+// Cooperative synchronization primitives for simulated processes.
+//
+// All primitives are strictly FIFO-fair and wake waiters through the engine
+// queue (never by direct resumption), which keeps resumption order
+// deterministic and stack depth bounded.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace imc::sim {
+
+// One-shot broadcast event: any number of processes can wait; set() releases
+// all of them (and all future waiters pass through immediately).
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Counting semaphore over an arbitrary resource amount (bytes, descriptors,
+// credits). FIFO: a large request at the head blocks smaller later requests
+// (no starvation; matches how registered-memory allocators behave).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::uint64_t initial)
+      : engine_(&engine), available_(initial), capacity_(initial) {}
+
+  std::uint64_t available() const { return available_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t in_use() const { return capacity_ - available_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  bool try_acquire(std::uint64_t n = 1) {
+    if (!waiters_.empty() || available_ < n) return false;
+    available_ -= n;
+    return true;
+  }
+
+  [[nodiscard]] auto acquire(std::uint64_t n = 1) {
+    struct Awaiter {
+      Semaphore* sem;
+      std::uint64_t n;
+      bool await_ready() const { return sem->try_acquire(n); }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem->waiters_.push_back(Waiter{n, h});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, n};
+  }
+
+  void release(std::uint64_t n = 1) {
+    available_ += n;
+    assert(available_ <= capacity_ && "semaphore over-release");
+    drain();
+  }
+
+  // Grows/shrinks capacity (used by tests that reconfigure resource pools).
+  void add_capacity(std::uint64_t n) {
+    capacity_ += n;
+    available_ += n;
+    drain();
+  }
+
+ private:
+  struct Waiter {
+    std::uint64_t n;
+    std::coroutine_handle<> handle;
+  };
+
+  void drain() {
+    while (!waiters_.empty() && waiters_.front().n <= available_) {
+      available_ -= waiters_.front().n;
+      engine_->schedule_now(waiters_.front().handle);
+      waiters_.pop_front();
+    }
+  }
+
+  Engine* engine_;
+  std::uint64_t available_;
+  std::uint64_t capacity_;
+  std::deque<Waiter> waiters_;
+};
+
+// Unbounded MPSC/MPMC mailbox. push() never blocks; pop() suspends until an
+// item is available. Values are delivered in push order.
+template <typename T>
+class Queue {
+ public:
+  explicit Queue(Engine& engine) : engine_(&engine) {}
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    if (!poppers_.empty()) {
+      engine_->schedule_now(poppers_.front());
+      poppers_.pop_front();
+      ++claimed_;
+    }
+  }
+
+  [[nodiscard]] auto pop() {
+    struct Awaiter {
+      Queue* queue;
+      bool woken = false;
+      bool await_ready() const {
+        // Items beyond those already claimed by scheduled poppers may be
+        // taken immediately (claimed poppers always consume from the front,
+        // so content order is preserved either way).
+        return queue->poppers_.empty() &&
+               queue->items_.size() > queue->claimed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        woken = true;
+        queue->poppers_.push_back(h);
+      }
+      T await_resume() {
+        if (woken) {
+          assert(queue->claimed_ > 0);
+          --queue->claimed_;
+        }
+        assert(!queue->items_.empty());
+        T value = std::move(queue->items_.front());
+        queue->items_.pop_front();
+        return value;
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> poppers_;
+  std::size_t claimed_ = 0;  // items reserved for already-scheduled poppers
+};
+
+// Reusable barrier for N participants (used by the mini-MPI collective).
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::size_t parties)
+      : engine_(&engine), parties_(parties) {}
+
+  [[nodiscard]] auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier* barrier;
+      bool await_ready() {
+        if (barrier->arrived_ + 1 == barrier->parties_) {
+          // Last arriver releases everyone and passes through.
+          barrier->arrived_ = 0;
+          for (auto h : barrier->waiters_) barrier->engine_->schedule_now(h);
+          barrier->waiters_.clear();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++barrier->arrived_;
+        barrier->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace imc::sim

@@ -1,0 +1,144 @@
+// Task<T>: a lazily-started coroutine used for every simulated activity.
+//
+// A simulated MPI rank, staging server, or background service is a coroutine
+// returning Task<>. Blocking operations (message receive, bandwidth
+// acquisition, sleeping) are awaitables that suspend the coroutine into the
+// discrete-event queue of sim::Engine. Tasks chain through symmetric
+// transfer, so arbitrarily deep call stacks of co_awaited subroutines cost no
+// native stack.
+//
+// Ownership: a Task owns its coroutine frame. Awaiting a Task (which
+// requires an rvalue — tasks are awaited exactly once) transfers control into
+// it and resumes the awaiter when it finishes. Detached execution is provided
+// by Engine::spawn.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace imc::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  TaskFinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+  std::exception_ptr error;
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  std::exception_ptr error;
+
+  Task<void> get_return_object();
+  void return_void() {}
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Awaiting starts the task (lazy start) and resumes the awaiter on
+  // completion via symmetric transfer.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> continuation) noexcept {
+        handle.promise().continuation = continuation;
+        return handle;
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.error) std::rethrow_exception(promise.error);
+        if constexpr (!std::is_void_v<T>) {
+          assert(promise.value.has_value());
+          return std::move(*promise.value);
+        }
+      }
+    };
+    assert(handle_ && "awaiting an empty Task");
+    return Awaiter{handle_};
+  }
+
+  // Used by Engine::spawn; not part of the public surface.
+  Handle release() { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+}  // namespace imc::sim

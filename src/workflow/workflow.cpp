@@ -1,0 +1,996 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "adios/adios.h"
+#include "apps/analysis.h"
+#include "apps/apps.h"
+#include "dataspaces/dataspaces.h"
+#include "decaf/decaf.h"
+#include "dimes/dimes.h"
+#include "flexpath/flexpath.h"
+#include "hpc/cluster.h"
+#include "lustre/lustre.h"
+#include "mpi/comm.h"
+#include "net/drc.h"
+#include "net/fabric.h"
+#include "ndarray/ndarray.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace imc::workflow {
+
+std::string_view to_string(MethodSel method) {
+  switch (method) {
+    case MethodSel::kMpiIo:
+      return "MPI-IO/ADIOS";
+    case MethodSel::kDataspacesAdios:
+      return "DataSpaces/ADIOS";
+    case MethodSel::kDataspacesNative:
+      return "DataSpaces/native";
+    case MethodSel::kDimesAdios:
+      return "DIMES/ADIOS";
+    case MethodSel::kDimesNative:
+      return "DIMES/native";
+    case MethodSel::kFlexpath:
+      return "Flexpath/ADIOS";
+    case MethodSel::kDecaf:
+      return "Decaf";
+  }
+  return "?";
+}
+
+std::string_view to_string(AppSel app) {
+  switch (app) {
+    case AppSel::kLammps:
+      return "LAMMPS+MSD";
+    case AppSel::kLaplace:
+      return "Laplace+MTA";
+    case AppSel::kSynthetic:
+      return "Synthetic";
+  }
+  return "?";
+}
+
+std::string RunResult::failure_summary() const {
+  if (ok) return "ok";
+  if (failures.empty()) return "failed (hang)";
+  return failures.front();
+}
+
+namespace {
+
+bool is_dataspaces(MethodSel m) {
+  return m == MethodSel::kDataspacesAdios || m == MethodSel::kDataspacesNative;
+}
+bool is_dimes(MethodSel m) {
+  return m == MethodSel::kDimesAdios || m == MethodSel::kDimesNative;
+}
+bool via_adios(MethodSel m) {
+  return m == MethodSel::kMpiIo || m == MethodSel::kDataspacesAdios ||
+         m == MethodSel::kDimesAdios || m == MethodSel::kFlexpath;
+}
+
+// Unified per-rank writer application.
+struct WriterApp {
+  AppSel kind;
+  std::unique_ptr<apps::LammpsSim> lammps;
+  std::unique_ptr<apps::LaplaceSim> laplace;
+  std::unique_ptr<apps::SyntheticWriter> synthetic;
+
+  nda::VarDesc desc(int version) const {
+    switch (kind) {
+      case AppSel::kLammps:
+        return lammps->output_desc(version);
+      case AppSel::kLaplace:
+        return laplace->output_desc(version);
+      case AppSel::kSynthetic:
+        return synthetic->output_desc(version);
+    }
+    return {};
+  }
+  nda::Slab output(int version) const {
+    switch (kind) {
+      case AppSel::kLammps:
+        return lammps->output(version);
+      case AppSel::kLaplace:
+        return laplace->output(version);
+      case AppSel::kSynthetic:
+        return synthetic->output(version);
+    }
+    return {};
+  }
+  double titan_step_seconds() const {
+    switch (kind) {
+      case AppSel::kLammps:
+        return lammps->titan_seconds_per_step();
+      case AppSel::kLaplace:
+        return laplace->titan_seconds_per_step();
+      case AppSel::kSynthetic:
+        return 0.2;  // the synthetic writer sleeps briefly between outputs
+    }
+    return 0;
+  }
+  std::uint64_t state_bytes() const {
+    switch (kind) {
+      case AppSel::kLammps:
+        return lammps->state_bytes();
+      case AppSel::kLaplace:
+        return laplace->state_bytes();
+      case AppSel::kSynthetic:
+        return 16 * kMiB;
+    }
+    return 0;
+  }
+  void advance(bool run_kernel) {
+    if (!run_kernel) return;
+    if (kind == AppSel::kLammps) lammps->advance();
+    if (kind == AppSel::kLaplace) laplace->advance();
+  }
+};
+
+WriterApp make_writer(const Spec& spec, int rank, bool run_kernel) {
+  WriterApp app;
+  app.kind = spec.app;
+  switch (spec.app) {
+    case AppSel::kLammps: {
+      apps::LammpsSim::Params p;
+      p.rank = rank;
+      p.nprocs = spec.nsim;
+      p.atoms_per_proc = spec.lammps_atoms_per_proc;
+      p.kernel_atoms = run_kernel ? 256 : 4;
+      app.lammps = std::make_unique<apps::LammpsSim>(p);
+      break;
+    }
+    case AppSel::kLaplace: {
+      apps::LaplaceSim::Params p;
+      p.rank = rank;
+      p.nprocs = spec.nsim;
+      p.rows = spec.laplace_rows;
+      p.cols_per_proc = spec.laplace_cols_per_proc;
+      p.kernel_n = run_kernel ? 48 : 8;
+      app.laplace = std::make_unique<apps::LaplaceSim>(p);
+      break;
+    }
+    case AppSel::kSynthetic: {
+      apps::SyntheticWriter::Params p;
+      p.rank = rank;
+      p.nprocs = spec.nsim;
+      p.match_staging_layout = spec.synthetic_match_layout;
+      p.elements_per_proc = spec.synthetic_elements_per_proc;
+      app.synthetic = std::make_unique<apps::SyntheticWriter>(p);
+      break;
+    }
+  }
+  return app;
+}
+
+// The global domain descriptor of step `version` (rank-independent).
+nda::VarDesc global_desc(const Spec& spec, int version) {
+  return make_writer(spec, 0, false).desc(version);
+}
+
+// The box analytics rank `a` reads: a contiguous share of the dimension the
+// application decomposes over (MSD reads its share of the writer columns;
+// MTA its share of the field columns).
+nda::Box reader_box(const Spec& spec, int a) {
+  const nda::VarDesc desc = global_desc(spec, 0);
+  int dim;
+  switch (spec.app) {
+    case AppSel::kLammps:
+      dim = 1;
+      break;
+    case AppSel::kLaplace:
+      dim = 1;
+      break;
+    case AppSel::kSynthetic:
+      dim = spec.synthetic_match_layout ? 2 : 1;
+      break;
+  }
+  auto boxes = nda::decompose_1d(desc.global, spec.nana, dim);
+  return boxes[static_cast<std::size_t>(a)];
+}
+
+// Everything one run needs, owned for the run's duration.
+struct Ctx {
+  explicit Ctx(const Spec& s)
+      : spec(s), cluster(s.machine), fabric(engine, s.machine) {}
+
+  const Spec& spec;
+  sim::Engine engine;
+  hpc::Cluster cluster;
+  net::Fabric fabric;
+  std::unique_ptr<net::DrcService> drc;
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<lustre::FileSystem> fs;
+  std::unique_ptr<dataspaces::DataSpaces> ds;
+  std::unique_ptr<dimes::Dimes> dimes;
+  std::unique_ptr<flexpath::Flexpath> flexpath;
+  adios::AdiosConfig adios_config;
+  adios::GroupDecl adios_group;
+
+  std::unique_ptr<mpi::Comm> sim_comm;
+  std::unique_ptr<mpi::Comm> world;  // Decaf
+  std::unique_ptr<decaf::Dataflow> dflow;
+  std::vector<std::unique_ptr<mem::ProcessMemory>> world_mem;  // Decaf
+
+  std::vector<int> sim_nodes;  // node id per sim rank
+  std::vector<int> ana_nodes;
+  std::vector<std::unique_ptr<mem::ProcessMemory>> sim_mem, ana_mem;
+
+  std::vector<double> sim_compute, sim_staging, sim_done;
+  std::vector<double> sim_gpu_copy;
+  std::vector<double> ana_compute, ana_staging, ana_done;
+  std::vector<std::string> failures;
+  double analysis_sample = 0;
+
+  int sim_finished_count = 0;
+  std::unique_ptr<sim::Event> sim_finished;
+  int ana_finished_count = 0;
+  std::unique_ptr<sim::Event> ana_finished;
+  int writers_open = 0;
+  std::unique_ptr<sim::Event> writers_ready;
+
+  bool run_kernel = false;
+
+  net::Endpoint sim_ep(int r) {
+    return net::Endpoint{1000 + r, /*job=*/0,
+                         &cluster.node(sim_nodes[static_cast<std::size_t>(r)])};
+  }
+  net::Endpoint ana_ep(int a) {
+    return net::Endpoint{100000 + a, /*job=*/1,
+                         &cluster.node(ana_nodes[static_cast<std::size_t>(a)])};
+  }
+
+  void fail(std::string what) { failures.push_back(std::move(what)); }
+};
+
+int default_servers(const Spec& spec) {
+  if (spec.num_servers > 0) return spec.num_servers;
+  if (is_dataspaces(spec.method)) return std::max(1, spec.nana / 8);
+  if (is_dimes(spec.method)) return 4;
+  if (spec.method == MethodSel::kDecaf) return spec.nana;
+  return 0;
+}
+
+net::TransportKind resolve_transport(const Spec& spec) {
+  switch (spec.transport) {
+    case Spec::Transport::kSockets:
+      return net::TransportKind::kSockets;
+    case Spec::Transport::kSharedMemory:
+      return net::TransportKind::kSharedMemory;
+    case Spec::Transport::kRdma:
+      return spec.method == MethodSel::kFlexpath
+                 ? net::TransportKind::kRdmaNnti
+                 : net::TransportKind::kRdmaUgni;
+    case Spec::Transport::kDefault:
+      break;
+  }
+  if (spec.method == MethodSel::kFlexpath) return net::TransportKind::kRdmaNnti;
+  return net::TransportKind::kRdmaUgni;
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-rank process for the non-Decaf methods.
+// ---------------------------------------------------------------------------
+
+sim::Task<> sim_rank(Ctx& ctx, int r) {
+  const Spec& spec = ctx.spec;
+  mem::ProcessMemory& memory = *ctx.sim_mem[static_cast<std::size_t>(r)];
+  WriterApp app = make_writer(spec, r, ctx.run_kernel);
+
+  if (Status st = memory.allocate(mem::Tag::kCalculation, app.state_bytes());
+      !st.is_ok()) {
+    ctx.fail("sim rank " + std::to_string(r) + ": " + st.to_string());
+    co_return;
+  }
+
+  // Per-method client state.
+  std::unique_ptr<dataspaces::DataSpaces::Client> ds_client;
+  std::unique_ptr<dimes::Dimes::Client> dimes_client;
+  std::unique_ptr<flexpath::Flexpath::Writer> fp_writer;
+  std::unique_ptr<adios::Io> io;
+
+  const net::Endpoint self = ctx.sim_ep(r);
+  if (ctx.ds) {
+    ds_client = std::make_unique<dataspaces::DataSpaces::Client>(*ctx.ds, self,
+                                                                 memory);
+  }
+  if (ctx.dimes) {
+    dimes_client =
+        std::make_unique<dimes::Dimes::Client>(*ctx.dimes, self, memory);
+  }
+  if (ctx.flexpath) {
+    fp_writer = std::make_unique<flexpath::Flexpath::Writer>(*ctx.flexpath,
+                                                             self, memory);
+  }
+  if (via_adios(spec.method)) {
+    adios::Io::Backends backends;
+    backends.dataspaces = ds_client.get();
+    backends.dimes = dimes_client.get();
+    backends.flexpath_writer = fp_writer.get();
+    backends.lustre = ctx.fs.get();
+    backends.node = self.node;
+    io = std::make_unique<adios::Io>(ctx.engine, ctx.adios_config,
+                                     ctx.adios_group, backends, memory,
+                                     spec.machine.cpu_speed);
+  }
+
+  // Initialize the I/O path. The MPI method opens one BP file per step
+  // inside the loop (as adios_open does); staging methods initialize once.
+  const std::string base_path =
+      "/scratch/" + std::string(to_string(spec.app)) + ".bp";
+  Status init_status = Status::ok();
+  if (via_adios(spec.method) && spec.method != MethodSel::kMpiIo) {
+    init_status = co_await io->open_write(base_path);
+  } else if (ds_client) {
+    init_status = co_await ds_client->init();
+  } else if (dimes_client) {
+    init_status = co_await dimes_client->init();
+  }
+  if (!init_status.is_ok()) {
+    ctx.fail("sim rank " + std::to_string(r) + " init: " +
+             init_status.to_string());
+    co_return;
+  }
+  if (ctx.flexpath) {
+    if (++ctx.writers_open == spec.nsim) ctx.writers_ready->set();
+  }
+
+  co_await ctx.sim_comm->barrier(r);
+
+  auto& staging_s = ctx.sim_staging[static_cast<std::size_t>(r)];
+  auto& compute_s = ctx.sim_compute[static_cast<std::size_t>(r)];
+  for (int step = 0; step < spec.steps; ++step) {
+    // Compute phase: the real micro-kernel plus the calibrated cost.
+    app.advance(ctx.run_kernel);
+    const double dt =
+        spec.compute_scale *
+        spec.machine.relative_compute_time(app.titan_step_seconds());
+    co_await ctx.engine.sleep(dt);
+    compute_s += dt;
+
+    // Output phase. GPU-resident data crosses PCIe first (§IV-B): none of
+    // the staging libraries read device memory, so the rank stages through
+    // a host bounce buffer — unless GPUDirect is modeled.
+    const nda::VarDesc var = app.desc(step);
+    const nda::Slab slab = app.output(step);
+    if (spec.gpu_resident_output && !spec.use_gpudirect) {
+      const std::uint64_t out_bytes = slab.box().volume() * nda::kElementBytes;
+      Status bounce_status;
+      mem::ScopedAlloc bounce(memory, mem::Tag::kLibrary, out_bytes,
+                              &bounce_status);
+      if (!bounce_status.is_ok()) {
+        ctx.fail("sim rank " + std::to_string(r) + " D2H bounce: " +
+                 bounce_status.to_string());
+        co_return;
+      }
+      const double copy = static_cast<double>(out_bytes) /
+                          spec.machine.gpu_copy_bandwidth;
+      co_await ctx.engine.sleep(copy);
+      ctx.sim_gpu_copy[static_cast<std::size_t>(r)] += copy;
+    }
+    const double t0 = ctx.engine.now();
+    Status st;
+    if (via_adios(spec.method)) {
+      if (spec.method == MethodSel::kMpiIo) {
+        st = co_await io->open_write(base_path + "." + std::to_string(step));
+        if (!st.is_ok()) {
+          ctx.fail("sim rank " + std::to_string(r) + " open: " +
+                   st.to_string());
+          co_return;
+        }
+      }
+      st = co_await io->write(var, slab);
+      if (st.is_ok()) st = co_await io->close();
+    } else if (ds_client) {
+      st = co_await ds_client->put(var, slab);
+    } else {
+      st = co_await dimes_client->put(var, slab);
+    }
+    staging_s += ctx.engine.now() - t0;
+    if (!st.is_ok()) {
+      ctx.fail("sim rank " + std::to_string(r) + " step " +
+               std::to_string(step) + ": " + st.to_string());
+      co_return;
+    }
+
+    // Commit: all ranks' puts complete, then the root publishes.
+    co_await ctx.sim_comm->barrier(r);
+    if (r == 0) {
+      Status commit_status;
+      if (via_adios(spec.method)) {
+        commit_status = co_await io->commit(var);
+      } else if (ds_client) {
+        commit_status = co_await ds_client->publish(var);
+      } else {
+        commit_status = co_await dimes_client->publish(var);
+      }
+      if (!commit_status.is_ok()) {
+        ctx.fail("commit step " + std::to_string(step) + ": " +
+                 commit_status.to_string());
+        co_return;
+      }
+    }
+  }
+
+  ctx.sim_done[static_cast<std::size_t>(r)] = ctx.engine.now();
+  if (++ctx.sim_finished_count == spec.nsim) ctx.sim_finished->set();
+
+  // DIMES keeps the staged data in this rank's memory and Flexpath keeps it
+  // in this rank's queue, so the writer process must outlive the readers.
+  if (ctx.dimes || ctx.flexpath) {
+    co_await ctx.ana_finished->wait();
+  }
+  if (io) {
+    io->finalize();
+  } else if (ds_client) {
+    ds_client->finalize();
+  } else if (dimes_client) {
+    dimes_client->finalize();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analytics-rank process for the non-Decaf methods.
+// ---------------------------------------------------------------------------
+
+sim::Task<> ana_rank(Ctx& ctx, int a) {
+  const Spec& spec = ctx.spec;
+  mem::ProcessMemory& memory = *ctx.ana_mem[static_cast<std::size_t>(a)];
+  const nda::Box my_box = reader_box(spec, a);
+  const std::uint64_t box_bytes = my_box.volume() * nda::kElementBytes;
+
+  // Analysis state: the fetched slab plus (for MSD) the reference step.
+  if (Status st = memory.allocate(mem::Tag::kCalculation, 2 * box_bytes);
+      !st.is_ok()) {
+    ctx.fail("analytics rank " + std::to_string(a) + ": " + st.to_string());
+    co_return;
+  }
+
+  std::unique_ptr<dataspaces::DataSpaces::Client> ds_client;
+  std::unique_ptr<dimes::Dimes::Client> dimes_client;
+  std::unique_ptr<flexpath::Flexpath::Reader> fp_reader;
+  std::unique_ptr<adios::Io> io;
+  const net::Endpoint self = ctx.ana_ep(a);
+  if (ctx.ds) {
+    ds_client = std::make_unique<dataspaces::DataSpaces::Client>(*ctx.ds, self,
+                                                                 memory);
+  }
+  if (ctx.dimes) {
+    dimes_client =
+        std::make_unique<dimes::Dimes::Client>(*ctx.dimes, self, memory);
+  }
+  if (ctx.flexpath) {
+    co_await ctx.writers_ready->wait();  // subscribe after publishers exist
+    fp_reader = std::make_unique<flexpath::Flexpath::Reader>(*ctx.flexpath,
+                                                             self, memory);
+  }
+  if (via_adios(spec.method)) {
+    adios::Io::Backends backends;
+    backends.dataspaces = ds_client.get();
+    backends.dimes = dimes_client.get();
+    backends.flexpath_reader = fp_reader.get();
+    backends.lustre = ctx.fs.get();
+    backends.node = self.node;
+    io = std::make_unique<adios::Io>(ctx.engine, ctx.adios_config,
+                                     ctx.adios_group, backends, memory,
+                                     spec.machine.cpu_speed);
+  }
+
+  // MPI-IO is post-processing: wait until the simulation completed.
+  if (spec.method == MethodSel::kMpiIo) {
+    co_await ctx.sim_finished->wait();
+  }
+
+  const std::string base_path =
+      "/scratch/" + std::string(to_string(spec.app)) + ".bp";
+  Status init_status = Status::ok();
+  if (via_adios(spec.method) && spec.method != MethodSel::kMpiIo) {
+    init_status = co_await io->open_read(base_path);
+  } else if (ds_client) {
+    init_status = co_await ds_client->init();
+  } else if (dimes_client) {
+    init_status = co_await dimes_client->init();
+  }
+  if (!init_status.is_ok()) {
+    ctx.fail("analytics rank " + std::to_string(a) + " init: " +
+             init_status.to_string());
+    co_return;
+  }
+
+  auto& staging_s = ctx.ana_staging[static_cast<std::size_t>(a)];
+  auto& compute_s = ctx.ana_compute[static_cast<std::size_t>(a)];
+  nda::Slab reference;
+  for (int step = 0; step < spec.steps; ++step) {
+    const nda::VarDesc var = global_desc(spec, step);
+    const double t0 = ctx.engine.now();
+    Result<nda::Slab> got = Status::ok();
+    if (via_adios(spec.method)) {
+      if (spec.method == MethodSel::kMpiIo) {
+        if (Status st = co_await io->open_read(base_path + "." +
+                                               std::to_string(step));
+            !st.is_ok()) {
+          ctx.fail("analytics open: " + st.to_string());
+          co_return;
+        }
+      }
+      got = co_await io->read(var, my_box);
+    } else if (ds_client) {
+      if (Status st = co_await ds_client->wait_version(var.name, step);
+          st.is_ok()) {
+        got = co_await ds_client->get(var, my_box);
+      } else {
+        got = st;
+      }
+    } else {
+      if (Status st = co_await dimes_client->wait_version(var.name, step);
+          st.is_ok()) {
+        got = co_await dimes_client->get(var, my_box);
+      } else {
+        got = st;
+      }
+    }
+    staging_s += ctx.engine.now() - t0;
+    if (!got.has_value()) {
+      ctx.fail("analytics rank " + std::to_string(a) + " step " +
+               std::to_string(step) + ": " + got.status().to_string());
+      co_return;
+    }
+
+    // Analysis: real math over the (possibly sampled) content, plus the
+    // calibrated compute cost.
+    double titan_seconds = 0;
+    if (spec.app == AppSel::kLammps) {
+      if (step == 0) reference = *got;
+      const double msd = apps::mean_squared_displacement(reference, *got, 512);
+      if (a == 0) ctx.analysis_sample = msd;  // rank 0's value: deterministic
+      titan_seconds = apps::msd_titan_seconds_per_step(box_bytes);
+    } else if (spec.app == AppSel::kLaplace) {
+      auto moments = apps::moment_analysis(*got, 4, 2048);
+      if (a == 0) ctx.analysis_sample = moments.empty() ? 0 : moments[0];
+      titan_seconds = apps::mta_titan_seconds_per_step(box_bytes);
+    } else {
+      titan_seconds = 0.05;
+    }
+    const double dt =
+        spec.compute_scale * spec.machine.relative_compute_time(titan_seconds);
+    co_await ctx.engine.sleep(dt);
+    compute_s += dt;
+
+    if (via_adios(spec.method)) {
+      if (Status st = co_await io->advance_step(step); !st.is_ok()) {
+        ctx.fail("advance_step: " + st.to_string());
+        co_return;
+      }
+    }
+  }
+
+  if (io) io->finalize();
+  if (!via_adios(spec.method) && ds_client) ds_client->finalize();
+  ctx.ana_done[static_cast<std::size_t>(a)] = ctx.engine.now();
+  if (++ctx.ana_finished_count == spec.nana) ctx.ana_finished->set();
+}
+
+// ---------------------------------------------------------------------------
+// Decaf processes.
+// ---------------------------------------------------------------------------
+
+sim::Task<> decaf_producer(Ctx& ctx, int r) {
+  const Spec& spec = ctx.spec;
+  mem::ProcessMemory& memory = *ctx.sim_mem[static_cast<std::size_t>(r)];
+  WriterApp app = make_writer(spec, r, ctx.run_kernel);
+  if (Status st = memory.allocate(mem::Tag::kCalculation, app.state_bytes());
+      !st.is_ok()) {
+    ctx.fail("decaf producer " + std::to_string(r) + ": " + st.to_string());
+    co_return;
+  }
+  // The Decaf/Bredala client library pool (Fig. 5d: ~40% above the other
+  // libraries' clients).
+  if (Status st = memory.allocate(mem::Tag::kLibrary,
+                                  ctx.dflow->config().client_base_bytes);
+      !st.is_ok()) {
+    ctx.fail("decaf producer " + std::to_string(r) + ": " + st.to_string());
+    co_return;
+  }
+  auto& staging_s = ctx.sim_staging[static_cast<std::size_t>(r)];
+  auto& compute_s = ctx.sim_compute[static_cast<std::size_t>(r)];
+  for (int step = 0; step < spec.steps; ++step) {
+    app.advance(ctx.run_kernel);
+    const double dt =
+        spec.compute_scale *
+        spec.machine.relative_compute_time(app.titan_step_seconds());
+    co_await ctx.engine.sleep(dt);
+    compute_s += dt;
+    if (spec.gpu_resident_output && !spec.use_gpudirect) {
+      const std::uint64_t out_bytes =
+          app.output(step).box().volume() * nda::kElementBytes;
+      const double copy = static_cast<double>(out_bytes) /
+                          spec.machine.gpu_copy_bandwidth;
+      co_await ctx.engine.sleep(copy);
+      ctx.sim_gpu_copy[static_cast<std::size_t>(r)] += copy;
+    }
+    const double t0 = ctx.engine.now();
+    Status st = co_await ctx.dflow->put(r, app.desc(step), app.output(step));
+    staging_s += ctx.engine.now() - t0;
+    if (!st.is_ok()) {
+      ctx.fail("decaf producer " + std::to_string(r) + " step " +
+               std::to_string(step) + ": " + st.to_string());
+      co_return;
+    }
+  }
+  co_await ctx.dflow->stop(r, spec.steps);
+  ctx.sim_done[static_cast<std::size_t>(r)] = ctx.engine.now();
+  if (++ctx.sim_finished_count == spec.nsim) ctx.sim_finished->set();
+}
+
+sim::Task<> decaf_consumer(Ctx& ctx, int a) {
+  const Spec& spec = ctx.spec;
+  const nda::Box my_box = reader_box(spec, a);
+  const std::uint64_t box_bytes = my_box.volume() * nda::kElementBytes;
+  mem::ProcessMemory& memory = *ctx.ana_mem[static_cast<std::size_t>(a)];
+  if (Status st = memory.allocate(mem::Tag::kCalculation, 2 * box_bytes);
+      !st.is_ok()) {
+    ctx.fail("decaf consumer " + std::to_string(a) + ": " + st.to_string());
+    co_return;
+  }
+  if (Status st = memory.allocate(mem::Tag::kLibrary,
+                                  ctx.dflow->config().client_base_bytes);
+      !st.is_ok()) {
+    ctx.fail("decaf consumer " + std::to_string(a) + ": " + st.to_string());
+    co_return;
+  }
+  auto& staging_s = ctx.ana_staging[static_cast<std::size_t>(a)];
+  auto& compute_s = ctx.ana_compute[static_cast<std::size_t>(a)];
+  nda::Slab reference;
+  for (int step = 0; step < spec.steps; ++step) {
+    const nda::VarDesc var = global_desc(spec, step);
+    const double t0 = ctx.engine.now();
+    auto got = co_await ctx.dflow->get(a, var, my_box);
+    staging_s += ctx.engine.now() - t0;
+    if (!got.has_value()) {
+      ctx.fail("decaf consumer " + std::to_string(a) + " step " +
+               std::to_string(step) + ": " + got.status().to_string());
+      co_return;
+    }
+    double titan_seconds = 0.05;
+    if (spec.app == AppSel::kLammps) {
+      if (step == 0) reference = *got;
+      const double msd = apps::mean_squared_displacement(reference, *got, 512);
+      if (a == 0) ctx.analysis_sample = msd;
+      titan_seconds = apps::msd_titan_seconds_per_step(box_bytes);
+    } else if (spec.app == AppSel::kLaplace) {
+      auto moments = apps::moment_analysis(*got, 4, 2048);
+      if (a == 0) ctx.analysis_sample = moments.empty() ? 0 : moments[0];
+      titan_seconds = apps::mta_titan_seconds_per_step(box_bytes);
+    }
+    const double dt =
+        spec.compute_scale * spec.machine.relative_compute_time(titan_seconds);
+    co_await ctx.engine.sleep(dt);
+    compute_s += dt;
+  }
+  ctx.ana_done[static_cast<std::size_t>(a)] = ctx.engine.now();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+RunResult run(const Spec& spec) {
+  RunResult result;
+  Ctx ctx(spec);
+  ctx.run_kernel = spec.nsim <= 64;
+  ctx.sim_finished = std::make_unique<sim::Event>(ctx.engine);
+  ctx.ana_finished = std::make_unique<sim::Event>(ctx.engine);
+  ctx.writers_ready = std::make_unique<sim::Event>(ctx.engine);
+
+  // Policy gates the paper hit before anything ran (§III-B7).
+  if (spec.shared_node_mode && !spec.machine.allows_node_sharing) {
+    result.failures.push_back(spec.machine.name +
+                              " does not allow two executables per node");
+    return result;
+  }
+  if (spec.shared_node_mode && spec.method == MethodSel::kDecaf &&
+      !spec.machine.supports_heterogeneous) {
+    result.failures.push_back(
+        "Decaf needs heterogeneous MPI launch, unsupported on " +
+        spec.machine.name);
+    return result;
+  }
+  if (spec.gpu_resident_output && spec.machine.gpu_memory_per_node == 0) {
+    result.failures.push_back(spec.machine.name + " has no GPUs");
+    return result;
+  }
+
+  // Transports and services.
+  const net::TransportKind kind = resolve_transport(spec);
+  const bool uses_rdma = kind == net::TransportKind::kRdmaUgni ||
+                         kind == net::TransportKind::kRdmaNnti;
+  if (spec.machine.requires_drc && uses_rdma) {
+    ctx.drc = std::make_unique<net::DrcService>(ctx.engine, spec.machine,
+                                                spec.drc_metered);
+  }
+  switch (kind) {
+    case net::TransportKind::kRdmaUgni:
+    case net::TransportKind::kRdmaNnti:
+      ctx.transport = std::make_unique<net::RdmaTransport>(
+          ctx.engine, ctx.fabric, kind, ctx.drc.get());
+      break;
+    case net::TransportKind::kSockets: {
+      net::SocketTransport::PoolConfig pool{spec.socket_pooling, 2};
+      ctx.transport = std::make_unique<net::SocketTransport>(
+          ctx.engine, ctx.fabric, pool);
+      break;
+    }
+    case net::TransportKind::kSharedMemory:
+      ctx.transport =
+          std::make_unique<net::ShmTransport>(ctx.engine, spec.machine);
+      break;
+  }
+
+  // Placement.
+  const int ppn =
+      spec.ranks_per_node > 0 ? spec.ranks_per_node : spec.machine.cores_per_node;
+  ctx.sim_nodes = ctx.cluster.place_block(spec.nsim, ppn);
+  if (spec.shared_node_mode) {
+    std::vector<int> shared_set(ctx.sim_nodes.begin(), ctx.sim_nodes.end());
+    shared_set.erase(std::unique(shared_set.begin(), shared_set.end()),
+                     shared_set.end());
+    ctx.ana_nodes = ctx.cluster.place_onto(shared_set, spec.nana);
+  } else {
+    ctx.ana_nodes = ctx.cluster.place_block(spec.nana, ppn);
+  }
+
+  for (int r = 0; r < spec.nsim; ++r) {
+    ctx.sim_mem.push_back(std::make_unique<mem::ProcessMemory>(
+        ctx.engine, "sim-" + std::to_string(r),
+        &ctx.cluster.node(ctx.sim_nodes[static_cast<std::size_t>(r)]).memory()));
+  }
+  for (int a = 0; a < spec.nana; ++a) {
+    ctx.ana_mem.push_back(std::make_unique<mem::ProcessMemory>(
+        ctx.engine, "ana-" + std::to_string(a),
+        &ctx.cluster.node(ctx.ana_nodes[static_cast<std::size_t>(a)]).memory()));
+  }
+  ctx.sim_compute.assign(static_cast<std::size_t>(spec.nsim), 0);
+  ctx.sim_staging.assign(static_cast<std::size_t>(spec.nsim), 0);
+  ctx.sim_gpu_copy.assign(static_cast<std::size_t>(spec.nsim), 0);
+  ctx.sim_done.assign(static_cast<std::size_t>(spec.nsim), -1);
+  ctx.ana_compute.assign(static_cast<std::size_t>(spec.nana), 0);
+  ctx.ana_staging.assign(static_cast<std::size_t>(spec.nana), 0);
+  ctx.ana_done.assign(static_cast<std::size_t>(spec.nana), -1);
+
+  // Deploy the selected method's infrastructure. In shared-node mode the
+  // staging servers are colocated with the simulation (the whole point of
+  // §III-B7: the I/O path shortens to node-local copies).
+  const int servers = default_servers(spec);
+  result.servers_used = servers;
+  std::vector<int> sim_node_set(ctx.sim_nodes.begin(), ctx.sim_nodes.end());
+  sim_node_set.erase(std::unique(sim_node_set.begin(), sim_node_set.end()),
+                     sim_node_set.end());
+  auto staging_nodes = [&](int count) {
+    if (spec.shared_node_mode) return sim_node_set;
+    return ctx.cluster.allocate_nodes(count);
+  };
+  if (spec.method == MethodSel::kMpiIo) {
+    ctx.fs = std::make_unique<lustre::FileSystem>(ctx.engine, ctx.fabric,
+                                                  spec.machine);
+  } else if (is_dataspaces(spec.method)) {
+    dataspaces::Config c;
+    c.num_servers = servers;
+    c.servers_per_node = spec.servers_per_node;
+    c.use_32bit_dims = spec.use_32bit_dims;
+    c.wait_retry_registration = spec.rdma_wait_retry;
+    auto ds = std::make_unique<dataspaces::DataSpaces>(ctx.engine, ctx.cluster,
+                                                       *ctx.transport, c);
+    const int nodes = (servers + c.servers_per_node - 1) / c.servers_per_node;
+    if (Status st = ds->deploy(staging_nodes(nodes)); !st.is_ok()) {
+      result.failures.push_back("deploy: " + st.to_string());
+      return result;
+    }
+    ctx.ds = std::move(ds);
+  } else if (is_dimes(spec.method)) {
+    dimes::Config c;
+    c.num_servers = servers;
+    c.servers_per_node = spec.servers_per_node;
+    c.use_32bit_dims = spec.use_32bit_dims;
+    // Table I: the native build doubles the DIMES RDMA buffer.
+    c.rdma_buffer_bytes = spec.method == MethodSel::kDimesNative
+                              ? 2048 * kMiB
+                              : 1024 * kMiB;
+    auto dm = std::make_unique<dimes::Dimes>(ctx.engine, ctx.cluster,
+                                             *ctx.transport, c);
+    const int nodes = (servers + c.servers_per_node - 1) / c.servers_per_node;
+    if (Status st = dm->deploy(staging_nodes(nodes)); !st.is_ok()) {
+      result.failures.push_back("deploy: " + st.to_string());
+      return result;
+    }
+    ctx.dimes = std::move(dm);
+  } else if (spec.method == MethodSel::kFlexpath) {
+    flexpath::Config c;
+    c.queue_size = spec.flexpath_queue_size;
+    c.cpu_speed = spec.machine.cpu_speed;
+    c.num_readers = spec.nana;
+    ctx.flexpath = std::make_unique<flexpath::Flexpath>(
+        ctx.engine, ctx.cluster, *ctx.transport, c);
+  }
+
+  // ADIOS group description (programmatic; the XML path is exercised by the
+  // examples and the adios tests).
+  if (via_adios(spec.method)) {
+    adios::GroupDecl group;
+    group.name = std::string(to_string(spec.app));
+    switch (spec.method) {
+      case MethodSel::kMpiIo:
+        group.method = adios::Method::kMpiIo;
+        ctx.adios_config.stats = false;  // Table I: stats=off for MPI-IO
+        break;
+      case MethodSel::kDataspacesAdios:
+        group.method = adios::Method::kDataspaces;
+        break;
+      case MethodSel::kDimesAdios:
+        group.method = adios::Method::kDimes;
+        break;
+      case MethodSel::kFlexpath:
+        group.method = adios::Method::kFlexpath;
+        group.parameters = "queue_size=" +
+                           std::to_string(spec.flexpath_queue_size);
+        break;
+      default:
+        break;
+    }
+    const nda::VarDesc var = global_desc(spec, 0);
+    // Size the ADIOS buffer to the per-rank output plus headroom.
+    const std::uint64_t per_rank =
+        var.total_bytes() / static_cast<std::uint64_t>(spec.nsim);
+    ctx.adios_config.buffer_bytes = 2 * per_rank + 4 * kMiB;
+    ctx.adios_group = group;
+  }
+
+  // Spawn the processes.
+  if (spec.method == MethodSel::kDecaf) {
+    // One world communicator: producers, dataflow ranks, consumers.
+    decaf::Graph graph;
+    graph.add_node("simulation", decaf::Role::kProducer, spec.nsim);
+    graph.add_node("dataflow", decaf::Role::kDataflow, servers);
+    graph.add_node("analytics", decaf::Role::kConsumer, spec.nana);
+
+    std::vector<int> placement;
+    placement.insert(placement.end(), ctx.sim_nodes.begin(),
+                     ctx.sim_nodes.end());
+    auto dflow_nodes = ctx.cluster.place_block(servers, ppn);
+    placement.insert(placement.end(), dflow_nodes.begin(), dflow_nodes.end());
+    placement.insert(placement.end(), ctx.ana_nodes.begin(),
+                     ctx.ana_nodes.end());
+    ctx.world = std::make_unique<mpi::Comm>(ctx.engine, ctx.fabric,
+                                            ctx.cluster, placement);
+    std::vector<mem::ProcessMemory*> rank_memory;
+    for (int r = 0; r < spec.nsim; ++r) {
+      rank_memory.push_back(ctx.sim_mem[static_cast<std::size_t>(r)].get());
+    }
+    for (int d = 0; d < servers; ++d) {
+      ctx.world_mem.push_back(std::make_unique<mem::ProcessMemory>(
+          ctx.engine, "dflow-" + std::to_string(d),
+          &ctx.cluster.node(dflow_nodes[static_cast<std::size_t>(d)]).memory()));
+      rank_memory.push_back(ctx.world_mem.back().get());
+    }
+    for (int a = 0; a < spec.nana; ++a) {
+      rank_memory.push_back(ctx.ana_mem[static_cast<std::size_t>(a)].get());
+    }
+    decaf::Config dc;
+    dc.cpu_speed = spec.machine.cpu_speed;
+    ctx.dflow = std::make_unique<decaf::Dataflow>(
+        ctx.engine, *ctx.world, 0, spec.nsim, spec.nsim, servers,
+        spec.nsim + servers, spec.nana, dc, rank_memory);
+
+    for (int r = 0; r < spec.nsim; ++r) {
+      ctx.engine.spawn(decaf_producer(ctx, r));
+    }
+    for (int d = 0; d < servers; ++d) {
+      ctx.engine.spawn(ctx.dflow->dflow_loop(d));
+    }
+    for (int a = 0; a < spec.nana; ++a) {
+      ctx.engine.spawn(decaf_consumer(ctx, a));
+    }
+  } else {
+    // Simulation ranks get their own communicator for barriers/commits.
+    ctx.sim_comm = std::make_unique<mpi::Comm>(ctx.engine, ctx.fabric,
+                                               ctx.cluster, ctx.sim_nodes,
+                                               /*job=*/0, /*pid_base=*/1000);
+    for (int r = 0; r < spec.nsim; ++r) ctx.engine.spawn(sim_rank(ctx, r));
+    for (int a = 0; a < spec.nana; ++a) ctx.engine.spawn(ana_rank(ctx, a));
+  }
+
+  ctx.engine.run();
+
+  // Assemble the result.
+  result.failures = ctx.failures;
+  for (const auto& f : ctx.engine.process_failures()) {
+    result.failures.push_back(f);
+  }
+  bool all_done = true;
+  for (double t : ctx.sim_done) all_done = all_done && t >= 0;
+  for (double t : ctx.ana_done) all_done = all_done && t >= 0;
+  if (!all_done && result.failures.empty()) {
+    result.failures.push_back("workflow hung (blocked processes remain)");
+  }
+  result.ok = result.failures.empty();
+
+  for (double t : ctx.sim_done) result.sim_span = std::max(result.sim_span, t);
+  for (double t : ctx.ana_done) result.ana_span = std::max(result.ana_span, t);
+  result.end_to_end = std::max(result.sim_span, result.ana_span);
+  if (!result.ok && result.end_to_end == 0) {
+    result.end_to_end = ctx.engine.now();
+  }
+
+  auto average = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double total = 0;
+    for (double x : v) total += x;
+    return total / static_cast<double>(v.size());
+  };
+  result.sim_compute = average(ctx.sim_compute);
+  result.sim_staging = average(ctx.sim_staging);
+  result.ana_compute = average(ctx.ana_compute);
+  result.ana_staging = average(ctx.ana_staging);
+  result.sample_analysis_value = ctx.analysis_sample;
+  result.gpu_copy_time = average(ctx.sim_gpu_copy);
+
+  for (const auto& m : ctx.sim_mem) {
+    result.sim_rank_peak = std::max(result.sim_rank_peak, m->peak());
+  }
+  for (const auto& m : ctx.ana_mem) {
+    result.ana_rank_peak = std::max(result.ana_rank_peak, m->peak());
+  }
+  auto fold_server = [&result](mem::ProcessMemory& m) {
+    result.server_peak = std::max(result.server_peak, m.peak());
+    for (int t = 0; t < mem::kTagCount; ++t) {
+      result.server_tag_peaks[static_cast<std::size_t>(t)] = std::max(
+          result.server_tag_peaks[static_cast<std::size_t>(t)],
+          m.peak_of(static_cast<mem::Tag>(t)));
+    }
+  };
+  if (ctx.ds) {
+    for (int s = 0; s < ctx.ds->num_servers(); ++s) {
+      fold_server(ctx.ds->server_memory(s));
+    }
+  }
+  if (ctx.dimes) {
+    for (int s = 0; s < ctx.dimes->num_servers(); ++s) {
+      fold_server(ctx.dimes->server_memory(s));
+    }
+  }
+  for (const auto& m : ctx.world_mem) fold_server(*m);
+
+  if (spec.capture_timelines) {
+    if (!ctx.sim_mem.empty()) result.sim_timeline = ctx.sim_mem[0]->timeline();
+    if (!ctx.ana_mem.empty()) result.ana_timeline = ctx.ana_mem[0]->timeline();
+    if (ctx.ds && ctx.ds->num_servers() > 0) {
+      result.server_timeline = ctx.ds->server_memory(0).timeline();
+    } else if (ctx.dimes && ctx.dimes->num_servers() > 0) {
+      result.server_timeline = ctx.dimes->server_memory(0).timeline();
+    } else if (!ctx.world_mem.empty()) {
+      result.server_timeline = ctx.world_mem[0]->timeline();
+    }
+  }
+
+  for (int n = 0; n < ctx.cluster.node_count(); ++n) {
+    auto& node = ctx.cluster.node(n);
+    result.rdma_peak_bytes =
+        std::max(result.rdma_peak_bytes, node.rdma().peak_bytes());
+    result.rdma_peak_handlers =
+        std::max(result.rdma_peak_handlers, node.rdma().peak_handlers());
+    result.socket_peak = std::max(result.socket_peak, node.sockets().peak());
+  }
+
+  if (ctx.ds) ctx.ds->shutdown();
+  if (ctx.dimes) ctx.dimes->shutdown();
+  ctx.engine.run();  // drain the server shutdowns
+  // Destroy any processes still parked on a failure path before the Ctx
+  // members they reference go away.
+  ctx.engine.reap_processes();
+  return result;
+}
+
+}  // namespace imc::workflow

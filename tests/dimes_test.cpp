@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "dimes/dimes.h"
+#include "hpc/cluster.h"
+#include "net/fabric.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+
+namespace imc::dimes {
+namespace {
+
+using nda::Box;
+using nda::Dims;
+using nda::Slab;
+using nda::VarDesc;
+
+struct DimesFixture : ::testing::Test {
+  DimesFixture()
+      : config(hpc::titan()), cluster(config), fabric(engine, config),
+        ugni(engine, fabric, net::TransportKind::kRdmaUgni) {}
+
+  std::unique_ptr<Dimes> deploy(Config c = {}) {
+    auto dimes = std::make_unique<Dimes>(engine, cluster, ugni, c);
+    const int nodes =
+        (c.num_servers + c.servers_per_node - 1) / c.servers_per_node;
+    EXPECT_TRUE(dimes->deploy(cluster.allocate_nodes(nodes)).is_ok());
+    return dimes;
+  }
+
+  struct Rank {
+    net::Endpoint ep;
+    std::unique_ptr<mem::ProcessMemory> memory;
+    std::unique_ptr<Dimes::Client> client;
+  };
+  Rank make_rank(Dimes& dimes, int pid, int node_id = -1) {
+    const int node = node_id >= 0 ? node_id : cluster.allocate_nodes(1)[0];
+    Rank r;
+    r.ep = net::Endpoint{pid, 0, &cluster.node(node)};
+    r.memory = std::make_unique<mem::ProcessMemory>(
+        engine, "rank" + std::to_string(pid));
+    r.client = std::make_unique<Dimes::Client>(dimes, r.ep, *r.memory);
+    return r;
+  }
+
+  void run_all() {
+    engine.run();
+    ASSERT_TRUE(engine.process_failures().empty())
+        << engine.process_failures()[0];
+  }
+
+  sim::Engine engine;
+  hpc::MachineConfig config;
+  hpc::Cluster cluster;
+  net::Fabric fabric;
+  net::RdmaTransport ugni;
+};
+
+TEST_F(DimesFixture, PutGetRoundTrip) {
+  auto dimes = deploy();
+  auto writer = make_rank(*dimes, 1);
+  auto reader = make_rank(*dimes, 2);
+  const VarDesc var{"field", {8, 16}, 0};
+  Slab source = Slab::synthetic(Box::whole(var.global), 31);
+
+  engine.spawn([](DimesFixture::Rank& w, VarDesc var, Slab src) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.client->init()).is_ok());
+    EXPECT_TRUE((co_await w.client->put(var, src)).is_ok());
+    EXPECT_TRUE((co_await w.client->publish(var)).is_ok());
+  }(writer, var, source));
+  engine.spawn([](DimesFixture::Rank& r, VarDesc var, Slab src) -> sim::Task<> {
+    EXPECT_TRUE((co_await r.client->init()).is_ok());
+    EXPECT_TRUE((co_await r.client->wait_version(var.name, 0)).is_ok());
+    auto got = co_await r.client->get(var, Box::whole(var.global));
+    EXPECT_TRUE(got.has_value()) << got.status();
+    if (got.has_value()) {
+      EXPECT_DOUBLE_EQ(got->checksum(), src.checksum());
+    }
+  }(reader, var, source));
+  run_all();
+}
+
+TEST_F(DimesFixture, DataStaysOnWriterNode) {
+  auto dimes = deploy();
+  auto writer = make_rank(*dimes, 1);
+  const VarDesc var{"local", {64, 64}, 0};
+  engine.spawn([](DimesFixture::Rank& w, VarDesc var, Dimes& d)
+                   -> sim::Task<> {
+    EXPECT_TRUE((co_await w.client->init()).is_ok());
+    Slab content = Slab::synthetic(Box::whole(var.global), 2);
+    EXPECT_TRUE((co_await w.client->put(var, content)).is_ok());
+    // Staged bytes accounted on the WRITER (kStaging) and pinned there.
+    EXPECT_EQ(w.memory->current(mem::Tag::kStaging), 64u * 64 * 8);
+    EXPECT_EQ(w.ep.node->rdma().bytes_used(), 64u * 64 * 8);
+    // Metadata servers hold only small directory entries.
+    for (int s = 0; s < d.num_servers(); ++s) {
+      EXPECT_EQ(d.server_memory(s).current(mem::Tag::kStaging), 0u);
+      EXPECT_LE(d.server_memory(s).current(mem::Tag::kIndex), 200u);
+    }
+  }(writer, var, *dimes));
+  run_all();
+}
+
+TEST_F(DimesFixture, CrossDecompositionRedistribution) {
+  auto dimes = deploy();
+  const VarDesc var{"grid", {12, 20}, 1};
+  Slab source = Slab::synthetic(Box::whole(var.global), 5);
+  auto writer_boxes = nda::decompose_1d(var.global, 3, 0);
+  auto reader_boxes = nda::decompose_1d(var.global, 2, 1);
+
+  std::vector<Rank> writers, readers;
+  for (int i = 0; i < 3; ++i) writers.push_back(make_rank(*dimes, 10 + i));
+  for (int i = 0; i < 2; ++i) readers.push_back(make_rank(*dimes, 20 + i));
+
+  int puts_done = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](DimesFixture::Rank& w, VarDesc var, Slab piece,
+                    int& done) -> sim::Task<> {
+      EXPECT_TRUE((co_await w.client->init()).is_ok());
+      EXPECT_TRUE((co_await w.client->put(var, piece)).is_ok());
+      ++done;
+    }(writers[static_cast<std::size_t>(i)], var,
+      source.extract(writer_boxes[static_cast<std::size_t>(i)]), puts_done));
+  }
+  engine.spawn([](sim::Engine& e, DimesFixture::Rank& w, VarDesc var,
+                  int& done) -> sim::Task<> {
+    while (done < 3) co_await e.sleep(1e-3);
+    EXPECT_TRUE((co_await w.client->publish(var)).is_ok());
+  }(engine, writers[0], var, puts_done));
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn([](DimesFixture::Rank& r, VarDesc var, Slab expect,
+                    Box want) -> sim::Task<> {
+      EXPECT_TRUE((co_await r.client->init()).is_ok());
+      EXPECT_TRUE((co_await r.client->wait_version(var.name, 1)).is_ok());
+      auto got = co_await r.client->get(var, want);
+      EXPECT_TRUE(got.has_value()) << got.status();
+      if (got.has_value()) {
+        EXPECT_DOUBLE_EQ(got->checksum(), expect.extract(want).checksum());
+      }
+    }(readers[static_cast<std::size_t>(i)], var, source,
+      reader_boxes[static_cast<std::size_t>(i)]));
+  }
+  run_all();
+}
+
+TEST_F(DimesFixture, BufferCapEnforced) {
+  Config c;
+  c.rdma_buffer_bytes = 1 * kMiB;
+  auto dimes = deploy(c);
+  auto writer = make_rank(*dimes, 1);
+  Status last;
+  engine.spawn([](DimesFixture::Rank& w, Status& out) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.client->init()).is_ok());
+    const Dims dims = {256, 256};  // 512 KiB each
+    for (int v = 0; v < 3 && out.is_ok(); ++v) {
+      VarDesc var{"buf" + std::to_string(v), dims, 0};
+      Slab content = Slab::synthetic(Box::whole(dims), 1);
+      out = co_await w.client->put(var, content);
+    }
+  }(writer, last));
+  run_all();
+  EXPECT_EQ(last.code(), ErrorCode::kOutOfRdmaMemory);
+}
+
+TEST_F(DimesFixture, MaxVersionsEvictsClientBuffer) {
+  auto dimes = deploy();
+  auto writer = make_rank(*dimes, 1);
+  engine.spawn([](DimesFixture::Rank& w) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.client->init()).is_ok());
+    const Dims dims = {32, 32};
+    for (int v = 0; v < 4; ++v) {
+      VarDesc var{"ts", dims, v};
+      Slab content = Slab::synthetic(Box::whole(dims), 9);
+      EXPECT_TRUE((co_await w.client->put(var, content)).is_ok());
+      EXPECT_TRUE((co_await w.client->publish(var)).is_ok());
+    }
+    // Only the latest version lives in the buffer (max_versions = 1).
+    EXPECT_EQ(w.client->buffer_in_use(), 32u * 32 * 8);
+    EXPECT_EQ(w.ep.node->rdma().bytes_used(), 32u * 32 * 8);
+  }(writer));
+  run_all();
+}
+
+TEST_F(DimesFixture, ConcurrentWritersOnOneNodeExhaustRegisteredMemory) {
+  // §III-B1: 16 Laplace writers/node x 128 MB staged in client memory
+  // overruns Titan's 1843 MiB of registered memory per compute node.
+  auto dimes = deploy();
+  const int shared_node = cluster.allocate_nodes(1)[0];
+  std::vector<Rank> writers;
+  std::vector<Status> results(16);
+  for (int i = 0; i < 16; ++i) {
+    writers.push_back(make_rank(*dimes, 100 + i, shared_node));
+  }
+  for (int i = 0; i < 16; ++i) {
+    engine.spawn([](DimesFixture::Rank& w, int i, Status& out) -> sim::Task<> {
+      EXPECT_TRUE((co_await w.client->init()).is_ok());
+      const Dims dims = {2, 128, 65536};  // 128 MiB
+      VarDesc var{"u" + std::to_string(i), dims, 0};
+      Slab content = Slab::synthetic(Box::whole(dims), 1);
+      out = co_await w.client->put(var, content);
+    }(writers[static_cast<std::size_t>(i)], i,
+      results[static_cast<std::size_t>(i)]));
+  }
+  run_all();
+  int ok = 0, failed = 0;
+  for (const auto& s : results) {
+    if (s.is_ok()) {
+      ++ok;
+    } else if (s.code() == ErrorCode::kOutOfRdmaMemory) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(ok, 14);  // floor(1843 MiB / 128 MiB)
+  EXPECT_EQ(failed, 2);
+}
+
+TEST_F(DimesFixture, GetMissingVersionFails) {
+  auto dimes = deploy();
+  auto reader = make_rank(*dimes, 1);
+  engine.spawn([](DimesFixture::Rank& r) -> sim::Task<> {
+    EXPECT_TRUE((co_await r.client->init()).is_ok());
+    const Dims dims = {4, 4};
+    VarDesc var{"ghost", dims, 7};
+    auto got = co_await r.client->get(var, Box::whole(dims));
+    EXPECT_EQ(got.code(), ErrorCode::kNotFound);
+  }(reader));
+  run_all();
+}
+
+TEST_F(DimesFixture, FinalizeReleasesEverything) {
+  auto dimes = deploy();
+  auto writer = make_rank(*dimes, 1);
+  engine.spawn([](DimesFixture::Rank& w) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.client->init()).is_ok());
+    const Dims dims = {16, 16};
+    VarDesc var{"x", dims, 0};
+    Slab content = Slab::synthetic(Box::whole(dims), 1);
+    EXPECT_TRUE((co_await w.client->put(var, content)).is_ok());
+    w.client->finalize();
+    EXPECT_EQ(w.memory->total(), 0u);
+    EXPECT_EQ(w.ep.node->rdma().bytes_used(), 0u);
+  }(writer));
+  run_all();
+}
+
+TEST_F(DimesFixture, MetadataSpreadAcrossServersByVariable) {
+  Config c;
+  c.num_servers = 4;
+  auto dimes = deploy(c);
+  auto writer = make_rank(*dimes, 1);
+  engine.spawn([](DimesFixture::Rank& w) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.client->init()).is_ok());
+    const Dims dims = {8, 8};
+    for (int i = 0; i < 16; ++i) {
+      VarDesc var{"var" + std::to_string(i), dims, 0};
+      Slab content = Slab::synthetic(Box::whole(dims), 1);
+      EXPECT_TRUE((co_await w.client->put(var, content)).is_ok());
+    }
+  }(writer));
+  run_all();
+  int servers_used = 0;
+  for (int s = 0; s < 4; ++s) {
+    if (dimes->server_stats(s).objects > 0) ++servers_used;
+  }
+  EXPECT_GE(servers_used, 2);  // hashing spreads 16 distinct names
+}
+
+}  // namespace
+}  // namespace imc::dimes

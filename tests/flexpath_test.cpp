@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "flexpath/flexpath.h"
+#include "hpc/cluster.h"
+#include "net/fabric.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+
+namespace imc::flexpath {
+namespace {
+
+using nda::Box;
+using nda::Dims;
+using nda::Slab;
+using nda::VarDesc;
+
+struct FlexFixture : ::testing::Test {
+  FlexFixture()
+      : config(hpc::titan()), cluster(config), fabric(engine, config),
+        nnti(engine, fabric, net::TransportKind::kRdmaNnti) {}
+
+  std::unique_ptr<Flexpath> make(Config c = {}) {
+    return std::make_unique<Flexpath>(engine, cluster, nnti, c);
+  }
+
+  struct Rank {
+    net::Endpoint ep;
+    std::unique_ptr<mem::ProcessMemory> memory;
+  };
+  Rank make_rank(int pid, int job = 0) {
+    const int node = cluster.allocate_nodes(1)[0];
+    Rank r;
+    r.ep = net::Endpoint{pid, job, &cluster.node(node)};
+    r.memory = std::make_unique<mem::ProcessMemory>(
+        engine, "rank" + std::to_string(pid));
+    return r;
+  }
+
+  void run_all() {
+    engine.run();
+    ASSERT_TRUE(engine.process_failures().empty())
+        << engine.process_failures()[0];
+  }
+
+  sim::Engine engine;
+  hpc::MachineConfig config;
+  hpc::Cluster cluster;
+  net::Fabric fabric;
+  net::RdmaTransport nnti;
+};
+
+TEST_F(FlexFixture, SingleWriterReaderRoundTrip) {
+  auto fp = make();
+  auto wr = make_rank(1);
+  auto rr = make_rank(2);
+  Flexpath::Writer writer(*fp, wr.ep, *wr.memory);
+  Flexpath::Reader reader(*fp, rr.ep, *rr.memory);
+  const VarDesc var{"field", {8, 16}, 0};
+  Slab source = Slab::synthetic(Box::whole(var.global), 13);
+
+  engine.spawn([](Flexpath::Writer& w, VarDesc var, Slab src) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.open("sim")).is_ok());
+    EXPECT_TRUE((co_await w.write_step(var, src)).is_ok());
+  }(writer, var, source));
+  engine.spawn([](sim::Engine& e, Flexpath::Reader& r, VarDesc var,
+                  Slab src) -> sim::Task<> {
+    co_await e.sleep(1e-6);  // writers open first in coupled runs
+    EXPECT_TRUE((co_await r.open("sim")).is_ok());
+    auto got = co_await r.read_step(var, Box::whole(var.global));
+    EXPECT_TRUE(got.has_value()) << got.status();
+    if (got.has_value()) {
+      EXPECT_DOUBLE_EQ(got->checksum(), src.checksum());
+    }
+    EXPECT_TRUE((co_await r.release_step(0)).is_ok());
+  }(engine, reader, var, source));
+  run_all();
+}
+
+TEST_F(FlexFixture, QueueSizeOneBlocksWriterUntilRelease) {
+  Config c;
+  c.queue_size = 1;
+  auto fp = make(c);
+  auto wr = make_rank(1);
+  auto rr = make_rank(2);
+  Flexpath::Writer writer(*fp, wr.ep, *wr.memory);
+  Flexpath::Reader reader(*fp, rr.ep, *rr.memory);
+  const Dims dims = {8, 8};
+  std::vector<double> write_times;
+
+  engine.spawn([](sim::Engine& e, Flexpath::Writer& w, Dims dims,
+                  std::vector<double>& times) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.open("sim")).is_ok());
+    for (int step = 0; step < 3; ++step) {
+      VarDesc var{"u", dims, step};
+      Slab content = Slab::synthetic(Box::whole(dims), 1);
+      EXPECT_TRUE((co_await w.write_step(var, content)).is_ok());
+      times.push_back(e.now());
+    }
+  }(engine, writer, dims, write_times));
+  engine.spawn([](sim::Engine& e, Flexpath::Reader& r, Dims dims)
+                   -> sim::Task<> {
+    co_await e.sleep(1e-6);
+    EXPECT_TRUE((co_await r.open("sim")).is_ok());
+    for (int step = 0; step < 3; ++step) {
+      co_await e.sleep(2.0);  // slow analytics
+      VarDesc var{"u", dims, step};
+      auto got = co_await r.read_step(var, Box::whole(dims));
+      EXPECT_TRUE(got.has_value()) << got.status();
+      EXPECT_TRUE((co_await r.release_step(step)).is_ok());
+    }
+  }(engine, reader, dims));
+  run_all();
+  ASSERT_EQ(write_times.size(), 3u);
+  // Step 0 writes immediately; step 1 must wait for the reader's release of
+  // step 0 (~2 s); step 2 waits for release of step 1 (~4 s).
+  EXPECT_LT(write_times[0], 0.1);
+  EXPECT_GT(write_times[1], 1.9);
+  EXPECT_GT(write_times[2], 3.9);
+}
+
+TEST_F(FlexFixture, DeeperQueueDecouplesWriter) {
+  Config c;
+  c.queue_size = 4;
+  auto fp = make(c);
+  auto wr = make_rank(1);
+  auto rr = make_rank(2);
+  Flexpath::Writer writer(*fp, wr.ep, *wr.memory);
+  Flexpath::Reader reader(*fp, rr.ep, *rr.memory);
+  const Dims dims = {8, 8};
+  std::vector<double> write_times;
+
+  engine.spawn([](sim::Engine& e, Flexpath::Writer& w, Dims dims,
+                  std::vector<double>& times) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.open("sim")).is_ok());
+    for (int step = 0; step < 3; ++step) {
+      VarDesc var{"u", dims, step};
+      Slab content = Slab::synthetic(Box::whole(dims), 1);
+      EXPECT_TRUE((co_await w.write_step(var, content)).is_ok());
+      times.push_back(e.now());
+    }
+  }(engine, writer, dims, write_times));
+  engine.spawn([](sim::Engine& e, Flexpath::Reader& r, Dims dims)
+                   -> sim::Task<> {
+    co_await e.sleep(1e-6);
+    EXPECT_TRUE((co_await r.open("sim")).is_ok());
+    for (int step = 0; step < 3; ++step) {
+      co_await e.sleep(2.0);
+      VarDesc var{"u", dims, step};
+      auto got = co_await r.read_step(var, Box::whole(dims));
+      EXPECT_TRUE(got.has_value());
+      EXPECT_TRUE((co_await r.release_step(step)).is_ok());
+    }
+  }(engine, reader, dims));
+  run_all();
+  // All three writes proceed without waiting on the slow reader.
+  EXPECT_LT(write_times[2], 0.1);
+}
+
+TEST_F(FlexFixture, ManyWritersToFewerReaders) {
+  auto fp = make();
+  const VarDesc var{"grid", {12, 8}, 0};
+  Slab source = Slab::synthetic(Box::whole(var.global), 44);
+  auto writer_boxes = nda::decompose_1d(var.global, 4, 0);
+  auto reader_boxes = nda::decompose_1d(var.global, 2, 1);
+
+  std::vector<Rank> wranks, rranks;
+  std::vector<std::unique_ptr<Flexpath::Writer>> writers;
+  std::vector<std::unique_ptr<Flexpath::Reader>> readers;
+  for (int i = 0; i < 4; ++i) {
+    wranks.push_back(make_rank(10 + i));
+    writers.push_back(std::make_unique<Flexpath::Writer>(
+        *fp, wranks.back().ep, *wranks.back().memory));
+  }
+  for (int i = 0; i < 2; ++i) {
+    rranks.push_back(make_rank(20 + i, 1));
+    readers.push_back(std::make_unique<Flexpath::Reader>(
+        *fp, rranks.back().ep, *rranks.back().memory));
+  }
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn([](Flexpath::Writer& w, VarDesc var, Slab piece)
+                     -> sim::Task<> {
+      EXPECT_TRUE((co_await w.open("sim")).is_ok());
+      EXPECT_TRUE((co_await w.write_step(var, piece)).is_ok());
+    }(*writers[static_cast<std::size_t>(i)], var,
+      source.extract(writer_boxes[static_cast<std::size_t>(i)])));
+  }
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn([](sim::Engine& e, Flexpath::Reader& r, VarDesc var,
+                    Slab expect, Box want) -> sim::Task<> {
+      co_await e.sleep(1e-6);
+      EXPECT_TRUE((co_await r.open("sim")).is_ok());
+      auto got = co_await r.read_step(var, want);
+      EXPECT_TRUE(got.has_value()) << got.status();
+      if (got.has_value()) {
+        EXPECT_DOUBLE_EQ(got->checksum(), expect.extract(want).checksum());
+      }
+      EXPECT_TRUE((co_await r.release_step(0)).is_ok());
+    }(engine, *readers[static_cast<std::size_t>(i)], var, source,
+      reader_boxes[static_cast<std::size_t>(i)]));
+  }
+  run_all();
+  // Both readers released: writers' queues drained.
+  for (const auto& w : writers) EXPECT_EQ(w->queued_steps(), 0);
+}
+
+TEST_F(FlexFixture, FormatHandshakeHappensOncePerWriter) {
+  auto fp = make();
+  auto wr = make_rank(1);
+  auto rr = make_rank(2);
+  Flexpath::Writer writer(*fp, wr.ep, *wr.memory);
+  Flexpath::Reader reader(*fp, rr.ep, *rr.memory);
+  engine.spawn([](sim::Engine& e, Flexpath::Writer& w, Flexpath::Reader& r,
+                  Flexpath& fp) -> sim::Task<> {
+    (void)e;
+    EXPECT_TRUE((co_await w.open("sim")).is_ok());
+    EXPECT_TRUE((co_await r.open("sim")).is_ok());
+    EXPECT_TRUE((co_await r.open("sim")).is_ok());  // idempotent
+    // One deduped format registered for the group.
+    EXPECT_EQ(fp.formats().size(), 1u);
+  }(engine, writer, reader, *fp));
+  run_all();
+}
+
+TEST_F(FlexFixture, StagedMemoryChargedOnWriterUntilRelease) {
+  auto fp = make();
+  auto wr = make_rank(1);
+  auto rr = make_rank(2);
+  Flexpath::Writer writer(*fp, wr.ep, *wr.memory);
+  Flexpath::Reader reader(*fp, rr.ep, *rr.memory);
+  const Dims dims = {32, 32};
+  engine.spawn([](Flexpath::Writer& w, Dims dims, Rank* rank) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.open("sim")).is_ok());
+    VarDesc var{"u", dims, 0};
+    Slab content = Slab::synthetic(Box::whole(dims), 1);
+    EXPECT_TRUE((co_await w.write_step(var, content)).is_ok());
+    EXPECT_EQ(rank->memory->current(mem::Tag::kStaging), 32u * 32 * 8);
+  }(writer, dims, &wr));
+  engine.spawn([](sim::Engine& e, Flexpath::Reader& r, Dims dims,
+                  Rank* rank) -> sim::Task<> {
+    co_await e.sleep(1e-6);
+    EXPECT_TRUE((co_await r.open("sim")).is_ok());
+    VarDesc var{"u", dims, 0};
+    auto got = co_await r.read_step(var, Box::whole(dims));
+    EXPECT_TRUE(got.has_value());
+    EXPECT_TRUE((co_await r.release_step(0)).is_ok());
+    EXPECT_EQ(rank->memory->current(mem::Tag::kStaging), 0u);
+  }(engine, reader, dims, &wr));
+  run_all();
+}
+
+TEST_F(FlexFixture, WriteBeforeOpenFails) {
+  auto fp = make();
+  auto wr = make_rank(1);
+  Flexpath::Writer writer(*fp, wr.ep, *wr.memory);
+  Status result;
+  engine.spawn([](Flexpath::Writer& w, Status& out) -> sim::Task<> {
+    const Dims dims = {4, 4};
+    VarDesc var{"u", dims, 0};
+    Slab content = Slab::synthetic(Box::whole(dims), 1);
+    out = co_await w.write_step(var, content);
+  }(writer, result));
+  engine.run();
+  EXPECT_EQ(result.code(), ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace imc::flexpath

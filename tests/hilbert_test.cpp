@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/hilbert.h"
+
+namespace imc {
+namespace {
+
+TEST(HilbertOrder, SmallestPowerOfTwoCover) {
+  EXPECT_EQ(hilbert_order_for_extent(1), 0);
+  EXPECT_EQ(hilbert_order_for_extent(2), 1);
+  EXPECT_EQ(hilbert_order_for_extent(3), 2);
+  EXPECT_EQ(hilbert_order_for_extent(4), 2);
+  EXPECT_EQ(hilbert_order_for_extent(5), 3);
+  // The paper's example: longest dimension 131072 = 2^17 -> order 17,
+  // i.e. index-space side 131072; for 200000 the side becomes 262144.
+  EXPECT_EQ(hilbert_order_for_extent(131072), 17);
+  EXPECT_EQ(hilbert_order_for_extent(200000), 18);
+  EXPECT_EQ(hilbert_order_for_extent(512000), 19);
+}
+
+TEST(Hilbert2D, FirstOrderCurve) {
+  // The order-1 2-D Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+  EXPECT_EQ(hilbert_distance({0, 0}, 1), 0u);
+  EXPECT_EQ(hilbert_distance({0, 1}, 1), 1u);
+  EXPECT_EQ(hilbert_distance({1, 1}, 1), 2u);
+  EXPECT_EQ(hilbert_distance({1, 0}, 1), 3u);
+}
+
+class HilbertRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(HilbertRoundTrip, BijectionOverFullCube) {
+  const auto [dims, bits] = GetParam();
+  const std::uint64_t total = 1ull << (dims * bits);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t d = 0; d < total; ++d) {
+    auto pt = hilbert_point(d, dims, bits);
+    ASSERT_EQ(static_cast<int>(pt.size()), dims);
+    for (auto c : pt) ASSERT_LT(c, 1u << bits);
+    EXPECT_EQ(hilbert_distance(pt, bits), d);
+    seen.insert(hilbert_distance(pt, bits));
+  }
+  EXPECT_EQ(seen.size(), total);  // bijective
+}
+
+INSTANTIATE_TEST_SUITE_P(Cubes, HilbertRoundTrip,
+                         ::testing::Values(std::pair{1, 6}, std::pair{2, 4},
+                                           std::pair{2, 6}, std::pair{3, 3},
+                                           std::pair{3, 4}, std::pair{4, 3}));
+
+class HilbertLocality : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertLocality, ConsecutiveDistancesAreAdjacentCells) {
+  // Defining property of the Hilbert curve: successive curve positions are
+  // neighbors in space (Manhattan distance exactly 1).
+  const int dims = GetParam();
+  const int bits = dims == 2 ? 5 : 3;
+  const std::uint64_t total = 1ull << (dims * bits);
+  auto prev = hilbert_point(0, dims, bits);
+  for (std::uint64_t d = 1; d < total; ++d) {
+    auto cur = hilbert_point(d, dims, bits);
+    int manhattan = 0;
+    for (int i = 0; i < dims; ++i) {
+      manhattan += std::abs(static_cast<int>(cur[i]) -
+                            static_cast<int>(prev[i]));
+    }
+    ASSERT_EQ(manhattan, 1) << "jump at distance " << d;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HilbertLocality, ::testing::Values(2, 3, 4));
+
+TEST(Hilbert, LargeCoordinates64BitKey) {
+  // 2 dims x 19 bits covers the paper's 512000-long dimension.
+  std::vector<std::uint32_t> p = {511999, 4};
+  auto d = hilbert_distance(p, 19);
+  EXPECT_EQ(hilbert_point(d, 2, 19), p);
+}
+
+}  // namespace
+}  // namespace imc

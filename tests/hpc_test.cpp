@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hpc/cluster.h"
+#include "hpc/machine.h"
+
+namespace imc::hpc {
+namespace {
+
+TEST(Machines, TitanMatchesPaperConstants) {
+  auto m = titan();
+  EXPECT_EQ(m.cores_per_node, 16);
+  EXPECT_DOUBLE_EQ(m.injection_bandwidth, 5.5e9);
+  EXPECT_EQ(m.rdma_memory_per_node, 1843ull * kMiB);
+  EXPECT_EQ(m.rdma_handlers_per_node, 3675u);
+  EXPECT_EQ(m.lustre_mds_count, 4);
+  EXPECT_FALSE(m.requires_drc);
+  EXPECT_FALSE(m.allows_node_sharing);
+}
+
+TEST(Machines, CoriMatchesPaperConstants) {
+  auto m = cori_knl();
+  EXPECT_EQ(m.cores_per_node, 68);
+  EXPECT_DOUBLE_EQ(m.injection_bandwidth, 15.6e9);
+  EXPECT_NEAR(m.cpu_speed, 0.636, 1e-9);
+  EXPECT_EQ(m.lustre_mds_count, 1);
+  EXPECT_TRUE(m.requires_drc);
+  EXPECT_TRUE(m.allows_node_sharing);
+  EXPECT_FALSE(m.supports_heterogeneous);
+  // Aggregate Lustre peak: 248 OSTs x per-OST bandwidth = 744 GB/s.
+  EXPECT_NEAR(m.lustre_osts * m.ost_bandwidth, 744e9, 1);
+}
+
+TEST(Machines, ComputeTimeScalesWithCpuSpeed) {
+  // The paper: Laplace on Cori takes ~1/0.636 the Titan compute time.
+  auto cori = cori_knl();
+  EXPECT_NEAR(cori.relative_compute_time(10.0), 15.72, 0.01);
+  EXPECT_DOUBLE_EQ(titan().relative_compute_time(10.0), 10.0);
+}
+
+TEST(RdmaPool, ByteCapacityBindsForLargeRequests) {
+  RdmaPool pool(1843 * kMiB, 3675);
+  // 128 MiB requests: capacity allows 14 concurrent registrations.
+  int ok = 0;
+  while (pool.register_memory(128 * kMiB).is_ok()) ++ok;
+  EXPECT_EQ(ok, 14);
+  Status s = pool.register_memory(128 * kMiB);
+  EXPECT_EQ(s.code(), ErrorCode::kOutOfRdmaMemory);
+}
+
+TEST(RdmaPool, HandlerCapacityBindsForSmallRequests) {
+  // Paper Fig. 4: below 512 KB the handler count (3675) binds.
+  RdmaPool pool(1843 * kMiB, 3675);
+  int ok = 0;
+  while (pool.register_memory(256 * kKiB).is_ok()) ++ok;
+  EXPECT_EQ(ok, 3675);
+  Status s = pool.register_memory(256 * kKiB);
+  EXPECT_EQ(s.code(), ErrorCode::kOutOfRdmaHandlers);
+}
+
+TEST(RdmaPool, CrossoverNearHalfMegabyte) {
+  // The 512 KB crossover of Fig. 4 emerges from the two caps:
+  // 1843 MiB / 3675 handlers ~= 513 KiB.
+  RdmaPool below(1843 * kMiB, 3675);
+  int n_below = 0;
+  while (below.register_memory(512 * kKiB).is_ok()) ++n_below;
+  EXPECT_EQ(n_below, 3675);  // handler-bound at exactly 512 KiB
+
+  RdmaPool above(1843 * kMiB, 3675);
+  int n_above = 0;
+  while (above.register_memory(600 * kKiB).is_ok()) ++n_above;
+  EXPECT_LT(n_above, 3675);  // byte-bound above the crossover
+  EXPECT_EQ(n_above, static_cast<int>(1843 * kMiB / (600 * kKiB)));
+}
+
+TEST(RdmaPool, DeregisterRestoresBoth) {
+  RdmaPool pool(1 * kMiB, 2);
+  ASSERT_TRUE(pool.register_memory(512 * kKiB).is_ok());
+  ASSERT_TRUE(pool.register_memory(512 * kKiB).is_ok());
+  EXPECT_FALSE(pool.register_memory(1).is_ok());
+  pool.deregister(512 * kKiB);
+  EXPECT_TRUE(pool.register_memory(256 * kKiB).is_ok());
+  EXPECT_EQ(pool.peak_bytes(), 1 * kMiB);
+  EXPECT_EQ(pool.peak_handlers(), 2u);
+}
+
+TEST(SocketPool, DepletesAndRecovers) {
+  SocketPool pool(3);
+  EXPECT_TRUE(pool.open().is_ok());
+  EXPECT_TRUE(pool.open().is_ok());
+  EXPECT_TRUE(pool.open().is_ok());
+  EXPECT_EQ(pool.open().code(), ErrorCode::kOutOfSockets);
+  pool.close();
+  EXPECT_TRUE(pool.open().is_ok());
+  EXPECT_EQ(pool.peak(), 3);
+}
+
+TEST(LinkState, SerializesReservations) {
+  LinkState link;
+  // Two back-to-back 1000-byte reservations at 1000 B/s.
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 1000, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 1000, 1000.0), 2.0);
+  // A reservation arriving after the link is idle starts immediately.
+  EXPECT_DOUBLE_EQ(link.reserve(5.0, 500, 1000.0), 5.5);
+  EXPECT_DOUBLE_EQ(link.bytes_moved, 2500.0);
+}
+
+TEST(Cluster, AllocateNodesAssignsSequentialIds) {
+  Cluster cluster(testbed());
+  auto ids = cluster.allocate_nodes(3);
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2}));
+  auto more = cluster.allocate_nodes(2);
+  EXPECT_EQ(more, (std::vector<int>{3, 4}));
+  EXPECT_EQ(cluster.node_count(), 5);
+  EXPECT_EQ(cluster.node(4).id(), 4);
+}
+
+TEST(Cluster, PlaceBlockFillsNodes) {
+  Cluster cluster(testbed());  // 4 cores per node
+  auto placement = cluster.place_block(10);
+  ASSERT_EQ(placement.size(), 10u);
+  EXPECT_EQ(placement[0], placement[3]);   // first 4 on node 0
+  EXPECT_NE(placement[3], placement[4]);   // rank 4 starts node 1
+  EXPECT_EQ(placement[9], 2);              // 10 ranks -> 3 nodes
+}
+
+TEST(Cluster, PlaceBlockCustomPerNode) {
+  Cluster cluster(testbed());
+  auto placement = cluster.place_block(8, 2);
+  EXPECT_EQ(cluster.node_count(), 4);
+  EXPECT_EQ(placement[0], placement[1]);
+  EXPECT_NE(placement[1], placement[2]);
+}
+
+TEST(Cluster, PlaceOntoExistingNodes) {
+  Cluster cluster(testbed());
+  auto nodes = cluster.allocate_nodes(2);
+  auto placement = cluster.place_onto(nodes, 6);
+  ASSERT_EQ(placement.size(), 6u);
+  // 6 procs over 2 nodes, block-wise: 3 per node.
+  EXPECT_EQ(placement[0], nodes[0]);
+  EXPECT_EQ(placement[2], nodes[0]);
+  EXPECT_EQ(placement[3], nodes[1]);
+  EXPECT_EQ(placement[5], nodes[1]);
+}
+
+TEST(Cluster, NodeResourcesComeFromConfig) {
+  Cluster cluster(testbed());
+  cluster.allocate_nodes(1);
+  auto& node = cluster.node(0);
+  EXPECT_EQ(node.memory().capacity(), testbed().memory_per_node);
+  EXPECT_EQ(node.rdma().bytes_capacity(), testbed().rdma_memory_per_node);
+  EXPECT_EQ(node.sockets().capacity(), testbed().socket_descriptors_per_node);
+}
+
+}  // namespace
+}  // namespace imc::hpc

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dataspaces/dataspaces.h"
+#include "dataspaces/locks.h"
+#include "hpc/cluster.h"
+#include "net/fabric.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+
+namespace imc::dataspaces {
+namespace {
+
+TEST(LockType2, WriterIsExclusive) {
+  sim::Engine engine;
+  LockService locks(engine, 2);
+  std::vector<std::string> log;
+  engine.spawn([](sim::Engine& e, LockService& l,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    (void)co_await l.lock_on_write("v");
+    out.push_back("w-acquired");
+    co_await e.sleep(5);
+    out.push_back("w-release");
+    l.unlock_on_write("v");
+  }(engine, locks, log));
+  engine.spawn([](sim::Engine& e, LockService& l,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    co_await e.sleep(1);
+    (void)co_await l.lock_on_read("v");
+    out.push_back("r-acquired at " + std::to_string(e.now()));
+    l.unlock_on_read("v");
+  }(engine, locks, log));
+  engine.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[2], "r-acquired at 5.000000");
+}
+
+TEST(LockType2, ReadersShareTheLock) {
+  sim::Engine engine;
+  LockService locks(engine, 2);
+  int concurrent = 0, peak = 0;
+  for (int i = 0; i < 8; ++i) {
+    engine.spawn([](sim::Engine& e, LockService& l, int& n,
+                    int& peak) -> sim::Task<> {
+      (void)co_await l.lock_on_read("v");
+      ++n;
+      peak = std::max(peak, n);
+      co_await e.sleep(1);
+      --n;
+      l.unlock_on_read("v");
+    }(engine, locks, concurrent, peak));
+  }
+  engine.run();
+  EXPECT_EQ(peak, 8);  // all readers admitted together
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(LockType1, ReadersSerialize) {
+  // The generic lock treats readers as exclusive too.
+  sim::Engine engine;
+  LockService locks(engine, 1);
+  int concurrent = 0, peak = 0;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn([](sim::Engine& e, LockService& l, int& n,
+                    int& peak) -> sim::Task<> {
+      (void)co_await l.lock_on_read("v");
+      ++n;
+      peak = std::max(peak, n);
+      co_await e.sleep(1);
+      --n;
+      l.unlock_on_read("v");
+    }(engine, locks, concurrent, peak));
+  }
+  engine.run();
+  EXPECT_EQ(peak, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);  // fully serialized
+}
+
+TEST(LockType3, NoCoordinationAtAll) {
+  sim::Engine engine;
+  LockService locks(engine, 3);
+  bool done = false;
+  engine.spawn([](LockService& l, bool& out) -> sim::Task<> {
+    (void)co_await l.lock_on_write("v");
+    (void)co_await l.lock_on_read("v");  // would deadlock under type 1/2
+    l.unlock_on_read("v");
+    l.unlock_on_write("v");
+    out = true;
+  }(locks, done));
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(LockType2, WaitingWriterBlocksLaterReaders) {
+  // FIFO: a writer queued behind active readers must get the lock before
+  // readers that arrived after it (no writer starvation).
+  sim::Engine engine;
+  LockService locks(engine, 2);
+  std::vector<std::string> order;
+  engine.spawn([](sim::Engine& e, LockService& l) -> sim::Task<> {
+    (void)co_await l.lock_on_read("v");  // reader holds [0, 4)
+    co_await e.sleep(4);
+    l.unlock_on_read("v");
+  }(engine, locks));
+  engine.spawn([](sim::Engine& e, LockService& l,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    co_await e.sleep(1);  // writer arrives second
+    (void)co_await l.lock_on_write("v");
+    out.push_back("writer");
+    l.unlock_on_write("v");
+  }(engine, locks, order));
+  engine.spawn([](sim::Engine& e, LockService& l,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    co_await e.sleep(2);  // late reader arrives third
+    (void)co_await l.lock_on_read("v");
+    out.push_back("late-reader");
+    l.unlock_on_read("v");
+  }(engine, locks, order));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"writer", "late-reader"}));
+}
+
+TEST(LockService, IndependentNamesDoNotInterfere) {
+  sim::Engine engine;
+  LockService locks(engine, 2);
+  double b_acquired = -1;
+  engine.spawn([](sim::Engine& e, LockService& l) -> sim::Task<> {
+    (void)co_await l.lock_on_write("a");
+    co_await e.sleep(10);
+    l.unlock_on_write("a");
+  }(engine, locks));
+  engine.spawn([](sim::Engine& e, LockService& l, double& out) -> sim::Task<> {
+    co_await e.sleep(1);
+    (void)co_await l.lock_on_write("b");  // different name: no waiting
+    out = e.now();
+    l.unlock_on_write("b");
+  }(engine, locks, b_acquired));
+  engine.run();
+  EXPECT_DOUBLE_EQ(b_acquired, 1.0);
+}
+
+TEST(LockService, WriteReadHandoffCycle) {
+  // The canonical coupling pattern: writer locks/puts/unlocks per step;
+  // readers lock/get/unlock. Steps must strictly alternate.
+  sim::Engine engine;
+  LockService locks(engine, 2);
+  std::vector<std::string> log;
+  engine.spawn([](sim::Engine& e, LockService& l,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    for (int step = 0; step < 3; ++step) {
+      (void)co_await l.lock_on_write("v");
+      out.push_back("w" + std::to_string(step));
+      co_await e.sleep(1);
+      l.unlock_on_write("v");
+      co_await e.sleep(0.5);  // compute
+    }
+  }(engine, locks, log));
+  engine.spawn([](sim::Engine& e, LockService& l,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    co_await e.sleep(0.1);
+    for (int step = 0; step < 3; ++step) {
+      (void)co_await l.lock_on_read("v");
+      out.push_back("r" + std::to_string(step));
+      co_await e.sleep(1);
+      l.unlock_on_read("v");
+    }
+  }(engine, locks, log));
+  engine.run();
+  // Writer and reader phases interleave (reader step k after writer step k).
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[0], "w0");
+  EXPECT_EQ(log[1], "r0");
+}
+
+TEST(LockService, Introspection) {
+  sim::Engine engine;
+  LockService locks(engine, 2);
+  engine.spawn([](sim::Engine& e, LockService& l) -> sim::Task<> {
+    (void)co_await l.lock_on_read("v");
+    (void)co_await l.lock_on_read("v");
+    co_await e.sleep(1);
+    l.unlock_on_read("v");
+    l.unlock_on_read("v");
+  }(engine, locks));
+  engine.spawn([](sim::Engine& e, LockService& l) -> sim::Task<> {
+    co_await e.sleep(0.5);
+    (void)co_await l.lock_on_write("v");
+    l.unlock_on_write("v");
+  }(engine, locks));
+  engine.run_until(0.6);
+  EXPECT_EQ(locks.active_readers("v"), 2);
+  EXPECT_FALSE(locks.write_held("v"));
+  EXPECT_EQ(locks.waiting("v"), 1u);  // the writer queued
+  engine.run();
+  EXPECT_EQ(locks.active_readers("v"), 0);
+}
+
+TEST(ClientLocks, CoupleWriterAndReaderThroughTheServer) {
+  // The real coupling idiom: writer lock/put/unlock, reader lock/get/unlock
+  // — through the client API, with the control round trips to the master
+  // server costing simulated time.
+  sim::Engine engine;
+  auto machine = hpc::titan();
+  hpc::Cluster cluster(machine);
+  net::Fabric fabric(engine, machine);
+  net::RdmaTransport ugni(engine, fabric, net::TransportKind::kRdmaUgni);
+  Config config;
+  config.num_servers = 1;
+  DataSpaces ds(engine, cluster, ugni, config);
+  ASSERT_TRUE(ds.deploy(cluster.allocate_nodes(1)).is_ok());
+  ASSERT_EQ(ds.locks().lock_type(), 2);  // Table I
+
+  mem::ProcessMemory wmem(engine, "w"), rmem(engine, "r");
+  DataSpaces::Client writer(
+      ds, net::Endpoint{1, 0, &cluster.node(cluster.allocate_nodes(1)[0])},
+      wmem);
+  DataSpaces::Client reader(
+      ds, net::Endpoint{2, 1, &cluster.node(cluster.allocate_nodes(1)[0])},
+      rmem);
+  const nda::Dims dims = {8, 8};
+  std::vector<std::string> log;
+
+  engine.spawn([](sim::Engine& e, DataSpaces::Client& w, nda::Dims dims,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    EXPECT_TRUE((co_await w.init()).is_ok());
+    EXPECT_TRUE((co_await w.lock_on_write("field_lock")).is_ok());
+    out.push_back("w-locked");
+    nda::VarDesc var{"field", dims, 0};
+    nda::Slab content = nda::Slab::synthetic(nda::Box::whole(dims), 1);
+    EXPECT_TRUE((co_await w.put(var, content)).is_ok());
+    EXPECT_TRUE((co_await w.publish(var)).is_ok());
+    co_await e.sleep(0.01);  // hold the lock a while
+    out.push_back("w-unlocking");
+    EXPECT_TRUE((co_await w.unlock_on_write("field_lock")).is_ok());
+  }(engine, writer, dims, log));
+
+  engine.spawn([](sim::Engine& e, DataSpaces::Client& r, nda::Dims dims,
+                  std::vector<std::string>& out) -> sim::Task<> {
+    EXPECT_TRUE((co_await r.init()).is_ok());
+    co_await e.sleep(1e-4);  // arrive while the writer holds the lock
+    EXPECT_TRUE((co_await r.lock_on_read("field_lock")).is_ok());
+    out.push_back("r-locked");
+    nda::VarDesc var{"field", dims, 0};
+    nda::Box whole = nda::Box::whole(dims);
+    auto got = co_await r.get(var, whole);
+    EXPECT_TRUE(got.has_value()) << got.status();
+    EXPECT_TRUE((co_await r.unlock_on_read("field_lock")).is_ok());
+  }(engine, reader, dims, log));
+
+  engine.run();
+  ASSERT_TRUE(engine.process_failures().empty())
+      << engine.process_failures()[0];
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "w-locked");
+  EXPECT_EQ(log[1], "w-unlocking");
+  EXPECT_EQ(log[2], "r-locked");  // reader admitted only after the unlock
+}
+
+}  // namespace
+}  // namespace imc::dataspaces

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/memory.h"
+#include "sim/engine.h"
+
+namespace imc::mem {
+namespace {
+
+TEST(NodeMemory, ReserveAndRelease) {
+  NodeMemory node(1 * kGiB);
+  EXPECT_TRUE(node.reserve(512 * kMiB).is_ok());
+  EXPECT_EQ(node.used(), 512 * kMiB);
+  EXPECT_EQ(node.free_bytes(), 512 * kMiB);
+  node.release(256 * kMiB);
+  EXPECT_EQ(node.used(), 256 * kMiB);
+}
+
+TEST(NodeMemory, OutOfMemoryFailsWithoutAccounting) {
+  NodeMemory node(100);
+  EXPECT_TRUE(node.reserve(60).is_ok());
+  Status s = node.reserve(41);
+  EXPECT_EQ(s.code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(node.used(), 60u);  // failed reserve must not consume
+}
+
+TEST(NodeMemory, PeakTracksHighWatermark) {
+  NodeMemory node(1000);
+  ASSERT_TRUE(node.reserve(700).is_ok());
+  node.release(500);
+  ASSERT_TRUE(node.reserve(100).is_ok());
+  EXPECT_EQ(node.peak(), 700u);
+}
+
+TEST(NodeMemory, OverReleaseClamps) {
+  NodeMemory node(100);
+  ASSERT_TRUE(node.reserve(50).is_ok());
+  node.release(80);
+  EXPECT_EQ(node.used(), 0u);
+}
+
+TEST(ProcessMemory, TagAccounting) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  ASSERT_TRUE(pm.allocate(Tag::kCalculation, 100).is_ok());
+  ASSERT_TRUE(pm.allocate(Tag::kStaging, 250).is_ok());
+  ASSERT_TRUE(pm.allocate(Tag::kStaging, 50).is_ok());
+  EXPECT_EQ(pm.current(Tag::kCalculation), 100u);
+  EXPECT_EQ(pm.current(Tag::kStaging), 300u);
+  EXPECT_EQ(pm.total(), 400u);
+  pm.free(Tag::kStaging, 300);
+  EXPECT_EQ(pm.total(), 100u);
+  EXPECT_EQ(pm.peak(), 400u);
+  EXPECT_EQ(pm.peak_of(Tag::kStaging), 300u);
+}
+
+TEST(ProcessMemory, BoundNodeEnforcesCapacity) {
+  sim::Engine engine;
+  NodeMemory node(1000);
+  ProcessMemory a(engine, "a", &node);
+  ProcessMemory b(engine, "b", &node);
+  ASSERT_TRUE(a.allocate(Tag::kLibrary, 600).is_ok());
+  Status s = b.allocate(Tag::kLibrary, 500);
+  EXPECT_EQ(s.code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(b.total(), 0u);
+  a.free(Tag::kLibrary, 600);
+  EXPECT_EQ(node.used(), 0u);
+}
+
+TEST(ProcessMemory, TimelineRecordsVirtualTime) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  engine.spawn([](sim::Engine& e, ProcessMemory& m) -> sim::Task<> {
+    (void)m.allocate(Tag::kCalculation, 100);
+    co_await e.sleep(10);
+    (void)m.allocate(Tag::kStaging, 400);
+    co_await e.sleep(5);
+    m.free(Tag::kStaging, 400);
+  }(engine, pm));
+  engine.run();
+  const auto& tl = pm.timeline();
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_DOUBLE_EQ(tl[0].time, 0.0);
+  EXPECT_EQ(tl[0].total, 100u);
+  EXPECT_DOUBLE_EQ(tl[1].time, 10.0);
+  EXPECT_EQ(tl[1].total, 500u);
+  EXPECT_DOUBLE_EQ(tl[2].time, 15.0);
+  EXPECT_EQ(tl[2].total, 100u);
+}
+
+TEST(ProcessMemory, SameInstantSamplesCoalesce) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  for (int i = 0; i < 100; ++i) (void)pm.allocate(Tag::kLibrary, 1);
+  EXPECT_EQ(pm.timeline().size(), 1u);
+  EXPECT_EQ(pm.timeline().back().total, 100u);
+}
+
+TEST(ProcessMemory, TimelineDecimationBoundsSize) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  engine.spawn([](sim::Engine& e, ProcessMemory& m) -> sim::Task<> {
+    for (int i = 0; i < 20000; ++i) {
+      (void)m.allocate(Tag::kLibrary, 1);
+      co_await e.sleep(0.001);
+    }
+  }(engine, pm));
+  engine.run();
+  EXPECT_LE(pm.timeline().size(), 4097u);
+  EXPECT_EQ(pm.total(), 20000u);
+  // The envelope endpoint survives decimation.
+  EXPECT_EQ(pm.timeline().back().total, 20000u);
+}
+
+TEST(ProcessMemory, FreeMoreThanAllocatedClamps) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  ASSERT_TRUE(pm.allocate(Tag::kIndex, 10).is_ok());
+  pm.free(Tag::kIndex, 100);
+  EXPECT_EQ(pm.current(Tag::kIndex), 0u);
+  EXPECT_EQ(pm.total(), 0u);
+}
+
+TEST(ScopedAlloc, ReleasesOnDestruction) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  {
+    Status s;
+    ScopedAlloc alloc(pm, Tag::kTransform, 777, &s);
+    ASSERT_TRUE(s.is_ok());
+    EXPECT_EQ(pm.current(Tag::kTransform), 777u);
+  }
+  EXPECT_EQ(pm.current(Tag::kTransform), 0u);
+}
+
+TEST(ScopedAlloc, FailedAllocationHoldsNothing) {
+  sim::Engine engine;
+  NodeMemory node(10);
+  ProcessMemory pm(engine, "rank0", &node);
+  Status s;
+  ScopedAlloc alloc(pm, Tag::kStaging, 100, &s);
+  EXPECT_EQ(s.code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(alloc.bytes(), 0u);
+}
+
+TEST(ScopedAlloc, MoveTransfersOwnership) {
+  sim::Engine engine;
+  ProcessMemory pm(engine, "rank0");
+  Status s;
+  ScopedAlloc a(pm, Tag::kStaging, 100, &s);
+  ScopedAlloc b = std::move(a);
+  EXPECT_EQ(pm.current(Tag::kStaging), 100u);
+  a.reset();  // must be a no-op
+  EXPECT_EQ(pm.current(Tag::kStaging), 100u);
+  b.reset();
+  EXPECT_EQ(pm.current(Tag::kStaging), 0u);
+}
+
+TEST(Tags, AllHaveNames) {
+  EXPECT_EQ(to_string(Tag::kCalculation), "calculation");
+  EXPECT_EQ(to_string(Tag::kLibrary), "library");
+  EXPECT_EQ(to_string(Tag::kStaging), "staging");
+  EXPECT_EQ(to_string(Tag::kIndex), "index");
+  EXPECT_EQ(to_string(Tag::kTransform), "transform");
+}
+
+}  // namespace
+}  // namespace imc::mem

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "hpc/cluster.h"
+#include "lustre/lustre.h"
+#include "mpi/comm.h"
+#include "mpi/file.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+
+namespace imc::mpi {
+namespace {
+
+struct MpiFileFixture : ::testing::Test {
+  MpiFileFixture()
+      : machine(hpc::testbed()),  // 4 ranks/node, 1 MDS @ 1 ms
+        cluster(machine),
+        fabric(engine, machine),
+        fs(engine, fabric, machine) {}
+
+  std::unique_ptr<Comm> make_comm(int n) {
+    return std::make_unique<Comm>(engine, fabric, cluster,
+                                  cluster.place_block(n));
+  }
+
+  void run_all() {
+    engine.run();
+    ASSERT_TRUE(engine.process_failures().empty())
+        << engine.process_failures()[0];
+  }
+
+  sim::Engine engine;
+  hpc::MachineConfig machine;
+  hpc::Cluster cluster;
+  net::Fabric fabric;
+  lustre::FileSystem fs;
+};
+
+TEST_F(MpiFileFixture, CollectiveOpenCostsOneMdsOpPerNode) {
+  auto comm = make_comm(8);  // 2 nodes
+  int done = 0;
+  for (int r = 0; r < 8; ++r) {
+    engine.spawn([](Comm& c, lustre::FileSystem& fs, int r,
+                    int& done) -> sim::Task<> {
+      auto file = co_await File::open_all(c, r, fs, "/scratch/coll.bp");
+      EXPECT_TRUE(file.has_value()) << file.status();
+      ++done;
+    }(*comm, fs, r, done));
+  }
+  run_all();
+  EXPECT_EQ(done, 8);
+  // 2 aggregators -> 2 metadata ops, not 8.
+  EXPECT_EQ(fs.metadata_ops(), 2u);
+}
+
+TEST_F(MpiFileFixture, CollectiveWriteAggregatesPerNode) {
+  auto comm = make_comm(8);
+  std::vector<double> done_times;
+  for (int r = 0; r < 8; ++r) {
+    engine.spawn([](sim::Engine& e, Comm& c, lustre::FileSystem& fs, int r,
+                    std::vector<double>& out) -> sim::Task<> {
+      auto file = co_await File::open_all(c, r, fs, "/scratch/agg.bp");
+      EXPECT_TRUE(file.has_value());
+      EXPECT_TRUE(
+          (co_await (*file)->write_at_all(r, 0, 1 * kMiB)).is_ok());
+      EXPECT_TRUE((co_await (*file)->close_all(r)).is_ok());
+      out.push_back(e.now());
+    }(engine, *comm, fs, r, done_times));
+  }
+  run_all();
+  ASSERT_EQ(done_times.size(), 8u);
+  // Collective semantics: everyone finishes together (tight spread).
+  for (double t : done_times) {
+    EXPECT_NEAR(t, done_times[0], 1e-3);
+  }
+  // All 8 MiB landed on the filesystem.
+  EXPECT_GE(fs.bytes_written(), 8.0 * kMiB);
+}
+
+TEST_F(MpiFileFixture, RepeatedCollectivesDoNotCrossMatch) {
+  auto comm = make_comm(4);
+  int steps_done = 0;
+  for (int r = 0; r < 4; ++r) {
+    engine.spawn([](Comm& c, lustre::FileSystem& fs, int r,
+                    int& done) -> sim::Task<> {
+      auto file = co_await File::open_all(c, r, fs, "/scratch/multi.bp");
+      EXPECT_TRUE(file.has_value());
+      for (int step = 0; step < 3; ++step) {
+        EXPECT_TRUE((co_await (*file)->write_at_all(
+                         r, step * 4 * kMiB, 1 * kMiB))
+                        .is_ok());
+      }
+      EXPECT_TRUE((co_await (*file)->close_all(r)).is_ok());
+      if (r == 0) done = 3;
+    }(*comm, fs, r, steps_done));
+  }
+  run_all();
+  EXPECT_EQ(steps_done, 3);
+}
+
+TEST_F(MpiFileFixture, CollectiveBeatsIndependentMetadataLoad) {
+  // The point of two-phase I/O on Lustre: per-node aggregation keeps the
+  // (single) MDS out of the critical path.
+  auto comm = make_comm(16);  // 4 nodes
+  for (int r = 0; r < 16; ++r) {
+    engine.spawn([](Comm& c, lustre::FileSystem& fs, int r) -> sim::Task<> {
+      auto file = co_await File::open_all(c, r, fs, "/scratch/two-phase.bp");
+      EXPECT_TRUE(file.has_value());
+      EXPECT_TRUE((co_await (*file)->write_at_all(r, 0, 256 * kKiB)).is_ok());
+      EXPECT_TRUE((co_await (*file)->close_all(r)).is_ok());
+    }(*comm, fs, r));
+  }
+  run_all();
+  // 4 aggregator opens + 4 aggregator closes.
+  EXPECT_EQ(fs.metadata_ops(), 8u);
+}
+
+}  // namespace
+}  // namespace imc::mpi

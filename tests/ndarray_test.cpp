@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ndarray/ndarray.h"
+
+namespace imc::nda {
+namespace {
+
+TEST(Box, VolumeAndExtent) {
+  Box b({0, 10}, {5, 30});
+  EXPECT_EQ(b.dims(), 2);
+  EXPECT_EQ(b.extent(0), 5u);
+  EXPECT_EQ(b.extent(1), 20u);
+  EXPECT_EQ(b.volume(), 100u);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Box, WholeCoversGlobal) {
+  Box b = Box::whole({5, 512, 1000});
+  EXPECT_EQ(b.lb, (Dims{0, 0, 0}));
+  EXPECT_EQ(b.ub, (Dims{5, 512, 1000}));
+  EXPECT_EQ(b.volume(), 5u * 512 * 1000);
+}
+
+TEST(Box, EmptyBox) {
+  Box b({3, 3}, {3, 10});
+  EXPECT_TRUE(b.empty());
+  Box zero;
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(Box, Contains) {
+  Box outer({0, 0}, {10, 10});
+  EXPECT_TRUE(outer.contains(Box({2, 3}, {4, 7})));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Box({2, 3}, {4, 11})));
+  EXPECT_FALSE(outer.contains_point({10, 0}));  // half-open
+  EXPECT_TRUE(outer.contains_point({9, 9}));
+}
+
+TEST(Box, Intersection) {
+  Box a({0, 0}, {10, 10});
+  Box b({5, 5}, {15, 15});
+  auto i = intersect(a, b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Box({5, 5}, {10, 10}));
+}
+
+TEST(Box, DisjointIntersectionIsEmpty) {
+  EXPECT_FALSE(intersect(Box({0}, {5}), Box({5}, {10})).has_value());
+  EXPECT_FALSE(intersect(Box({0, 0}, {5, 5}), Box({0, 7}, {5, 9})));
+}
+
+TEST(Box, ToStringIsReadable) {
+  EXPECT_EQ(Box({0, 10}, {5, 30}).to_string(), "[0..5, 10..30)");
+}
+
+TEST(Dims32Bit, DetectsOverflow) {
+  // Table IV: dimension sizes stored as 32-bit unsigned overflow.
+  EXPECT_TRUE(check_dims_32bit({5, 32, 512000}).is_ok());
+  EXPECT_EQ(check_dims_32bit({5ull << 32}).code(),
+            ErrorCode::kDimensionOverflow);
+  // The LAMMPS output geometry at (8192, 4096) scale really does overflow
+  // 32-bit element counts — exactly the crash the paper reports.
+  EXPECT_EQ(check_dims_32bit({5, 8192, 512000}).code(),
+            ErrorCode::kDimensionOverflow);
+  // 4096 * 1048576 * 4096 elements overflows 32-bit element counts.
+  EXPECT_EQ(check_dims_32bit({4096, 1048576, 4096}).code(),
+            ErrorCode::kDimensionOverflow);
+}
+
+TEST(Decompose1D, EvenSplit) {
+  auto boxes = decompose_1d({4, 100}, 4, 1);
+  ASSERT_EQ(boxes.size(), 4u);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(boxes[p].lb[1], static_cast<std::uint64_t>(25 * p));
+    EXPECT_EQ(boxes[p].extent(1), 25u);
+    EXPECT_EQ(boxes[p].extent(0), 4u);  // full other dimension
+  }
+}
+
+TEST(Decompose1D, RemainderSpreadOverFirstBlocks) {
+  auto boxes = decompose_1d({10}, 3, 0);
+  EXPECT_EQ(boxes[0].extent(0), 4u);
+  EXPECT_EQ(boxes[1].extent(0), 3u);
+  EXPECT_EQ(boxes[2].extent(0), 3u);
+  // Partition property: contiguous and covering.
+  EXPECT_EQ(boxes[0].ub[0], boxes[1].lb[0]);
+  EXPECT_EQ(boxes[1].ub[0], boxes[2].lb[0]);
+  EXPECT_EQ(boxes[2].ub[0], 10u);
+}
+
+class DecomposePartition
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecomposePartition, IsDisjointAndCovering) {
+  const auto [parts, dim] = GetParam();
+  const Dims global = {32, 48, 64};
+  auto boxes = decompose_1d(global, parts, dim);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    total += boxes[i].volume();
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      EXPECT_FALSE(intersect(boxes[i], boxes[j]).has_value());
+    }
+  }
+  EXPECT_EQ(total, Box::whole(global).volume());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, DecomposePartition,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(DecomposeGrid, CartesianBlocks) {
+  auto boxes = decompose_grid({4, 6}, {2, 3});
+  ASSERT_EQ(boxes.size(), 6u);
+  // Row-major: last dimension fastest.
+  EXPECT_EQ(boxes[0], Box({0, 0}, {2, 2}));
+  EXPECT_EQ(boxes[1], Box({0, 2}, {2, 4}));
+  EXPECT_EQ(boxes[2], Box({0, 4}, {2, 6}));
+  EXPECT_EQ(boxes[3], Box({2, 0}, {4, 2}));
+  std::uint64_t total = 0;
+  for (const auto& b : boxes) total += b.volume();
+  EXPECT_EQ(total, 24u);
+}
+
+TEST(LongestDim, PicksMaxExtentLowestIndexOnTie) {
+  EXPECT_EQ(longest_dim({5, 512, 512000}), 2);
+  EXPECT_EQ(longest_dim({4096, 4096}), 0);
+  EXPECT_EQ(longest_dim({7}), 0);
+}
+
+TEST(Intersecting, FindsAllOverlaps) {
+  auto writers = decompose_1d({100}, 4, 0);  // [0,25) [25,50) [50,75) [75,100)
+  auto hits = intersecting(writers, Box({20}, {60}));
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].first, 0);
+  EXPECT_EQ(hits[0].second, Box({20}, {25}));
+  EXPECT_EQ(hits[1].first, 1);
+  EXPECT_EQ(hits[2].second, Box({50}, {60}));
+}
+
+TEST(VarDesc, TotalBytes) {
+  VarDesc v{"atoms", {5, 32, 512000}, 0};
+  EXPECT_EQ(v.total_bytes(), 5ull * 32 * 512000 * 8);
+}
+
+TEST(Slab, MaterializedRoundTrip) {
+  Slab s = Slab::zeros(Box({0, 0}, {4, 4}));
+  s.set({2, 3}, 7.5);
+  EXPECT_DOUBLE_EQ(s.at({2, 3}), 7.5);
+  EXPECT_DOUBLE_EQ(s.at({0, 0}), 0.0);
+  EXPECT_EQ(s.declared_bytes(), 16u * 8);
+}
+
+TEST(Slab, MaterializedUsesRowMajorLayout) {
+  std::vector<double> data = {0, 1, 2, 3, 4, 5};
+  Slab s = Slab::materialized(Box({10, 20}, {12, 23}), std::move(data));
+  EXPECT_DOUBLE_EQ(s.at({10, 20}), 0);
+  EXPECT_DOUBLE_EQ(s.at({10, 22}), 2);
+  EXPECT_DOUBLE_EQ(s.at({11, 20}), 3);
+  EXPECT_DOUBLE_EQ(s.at({11, 22}), 5);
+}
+
+TEST(Slab, SyntheticIsDeterministicAndPositionDependent) {
+  Slab a = Slab::synthetic(Box({0, 0}, {100, 100}), 42);
+  Slab b = Slab::synthetic(Box({0, 0}, {100, 100}), 42);
+  EXPECT_DOUBLE_EQ(a.at({3, 7}), b.at({3, 7}));
+  EXPECT_NE(a.at({3, 7}), a.at({7, 3}));
+  Slab c = Slab::synthetic(Box({0, 0}, {100, 100}), 43);
+  EXPECT_NE(a.at({3, 7}), c.at({3, 7}));
+}
+
+TEST(Slab, SyntheticValuesBounded) {
+  Slab s = Slab::synthetic(Box({0}, {1000}), 1);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double v = s.at({i});
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Slab, ExtractOfSyntheticStaysSynthetic) {
+  Slab s = Slab::synthetic(Box({0, 0}, {1 << 20, 1 << 20}), 9);
+  Slab sub = s.extract(Box({5, 5}, {10, 10}));
+  EXPECT_FALSE(sub.is_materialized());
+  EXPECT_DOUBLE_EQ(sub.at({6, 7}), s.at({6, 7}));
+}
+
+TEST(Slab, ExtractOfMaterializedCopiesContent) {
+  Slab s = Slab::zeros(Box({0, 0}, {8, 8}));
+  s.set({3, 4}, 1.25);
+  Slab sub = s.extract(Box({2, 2}, {6, 6}));
+  EXPECT_TRUE(sub.is_materialized());
+  EXPECT_DOUBLE_EQ(sub.at({3, 4}), 1.25);
+  EXPECT_DOUBLE_EQ(sub.at({2, 2}), 0.0);
+}
+
+TEST(Slab, FillFromCopiesOnlyOverlap) {
+  Slab dst = Slab::zeros(Box({0}, {10}));
+  Slab src = Slab::synthetic(Box({5}, {20}), 3);
+  dst.fill_from(src);
+  EXPECT_DOUBLE_EQ(dst.at({4}), 0.0);          // outside src
+  EXPECT_DOUBLE_EQ(dst.at({5}), src.at({5}));  // overlap copied
+  EXPECT_DOUBLE_EQ(dst.at({9}), src.at({9}));
+}
+
+TEST(Slab, ScatterGatherRoundTripAcrossDecompositions) {
+  // Property: writing via one decomposition and reading via another must
+  // reproduce the source exactly. This is the core staging correctness
+  // invariant every library test relies on.
+  const Dims global = {12, 18};
+  Slab source = Slab::synthetic(Box::whole(global), 77);
+
+  for (int writer_parts : {2, 3, 4}) {
+    for (int reader_parts : {2, 3}) {
+      auto writer_boxes = decompose_1d(global, writer_parts, 0);
+      auto reader_boxes = decompose_1d(global, reader_parts, 1);
+      // "Stage" writer slabs.
+      std::vector<Slab> staged;
+      for (const auto& wb : writer_boxes) staged.push_back(source.extract(wb));
+      // Each reader assembles from intersecting staged slabs.
+      Slab assembled = Slab::zeros(Box::whole(global));
+      for (const auto& rb : reader_boxes) {
+        Slab reader_slab = Slab::zeros(rb);
+        for (const auto& st : staged) reader_slab.fill_from(st);
+        assembled.fill_from(reader_slab);
+      }
+      EXPECT_DOUBLE_EQ(assembled.checksum(), source.checksum())
+          << "writers=" << writer_parts << " readers=" << reader_parts;
+    }
+  }
+}
+
+TEST(Slab, ChecksumIsDecompositionInvariantButContentSensitive) {
+  Slab a = Slab::synthetic(Box({0, 0}, {6, 6}), 5);
+  Slab copy = Slab::zeros(Box({0, 0}, {6, 6}));
+  copy.fill_from(a);
+  EXPECT_DOUBLE_EQ(copy.checksum(), a.checksum());
+  copy.set({1, 1}, copy.at({1, 1}) + 1.0);
+  EXPECT_NE(copy.checksum(), a.checksum());
+}
+
+}  // namespace
+}  // namespace imc::nda

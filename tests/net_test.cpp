@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "hpc/cluster.h"
+#include "net/drc.h"
+#include "net/fabric.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+
+namespace imc::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  NetFixture()
+      : config(hpc::titan()), cluster(config), fabric(engine, config) {
+    cluster.allocate_nodes(8);
+  }
+
+  Endpoint ep(int pid, int node, int job = 0) {
+    return Endpoint{pid, job, &cluster.node(node)};
+  }
+
+  sim::Engine engine;
+  hpc::MachineConfig config;
+  hpc::Cluster cluster;
+  Fabric fabric;
+};
+
+TEST_F(NetFixture, UncontendedTransferIsLatencyPlusSerialization) {
+  double done = -1;
+  engine.spawn([](sim::Engine& e, Fabric& f, hpc::Node& a, hpc::Node& b,
+                  double& out) -> sim::Task<> {
+    co_await f.transfer(a, b, 55'000'000);  // 55 MB at 5.5 GB/s = 10 ms
+    out = e.now();
+  }(engine, fabric, cluster.node(0), cluster.node(1), done));
+  engine.run();
+  EXPECT_NEAR(done, 0.010 + fabric.latency(cluster.node(0), cluster.node(1)), 1e-9);
+}
+
+TEST_F(NetFixture, NToOneSerializesOnIngress) {
+  // Four senders, one receiver: completion ~= 4x the single-transfer time.
+  // This is the mechanism behind the paper's Finding 3.
+  std::vector<double> done;
+  for (int s = 0; s < 4; ++s) {
+    engine.spawn([](sim::Engine& e, Fabric& f, hpc::Node& src, hpc::Node& dst,
+                    std::vector<double>& out) -> sim::Task<> {
+      co_await f.transfer(src, dst, 55'000'000);
+      out.push_back(e.now());
+    }(engine, fabric, cluster.node(s), cluster.node(7), done));
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_NEAR(done.back(), 0.040 + fabric.latency(cluster.node(0), cluster.node(7)), 1e-5);
+}
+
+TEST_F(NetFixture, NToNProceedsInParallel) {
+  std::vector<double> done;
+  for (int s = 0; s < 4; ++s) {
+    engine.spawn([](sim::Engine& e, Fabric& f, hpc::Node& src, hpc::Node& dst,
+                    std::vector<double>& out) -> sim::Task<> {
+      co_await f.transfer(src, dst, 55'000'000);
+      out.push_back(e.now());
+    }(engine, fabric, cluster.node(s), cluster.node(4 + s), done));
+  }
+  engine.run();
+  for (double t : done) EXPECT_NEAR(t, 0.010 + config.link_latency, 1e-6);
+}
+
+TEST_F(NetFixture, OneToNSerializesOnEgress) {
+  std::vector<double> done;
+  for (int r = 0; r < 4; ++r) {
+    engine.spawn([](sim::Engine& e, Fabric& f, hpc::Node& src, hpc::Node& dst,
+                    std::vector<double>& out) -> sim::Task<> {
+      co_await f.transfer(src, dst, 55'000'000);
+      out.push_back(e.now());
+    }(engine, fabric, cluster.node(0), cluster.node(1 + r), done));
+  }
+  engine.run();
+  EXPECT_NEAR(done.back(), 0.040 + fabric.latency(cluster.node(0), cluster.node(7)), 1e-5);
+}
+
+TEST_F(NetFixture, SameNodeTransferUsesMemoryBandwidth) {
+  double done = -1;
+  engine.spawn([](sim::Engine& e, Fabric& f, hpc::Node& n, double& out)
+                   -> sim::Task<> {
+    co_await f.transfer(n, n, 120'000'000);  // 120 MB at 12 GB/s = 10 ms
+    out = e.now();
+  }(engine, fabric, cluster.node(0), done));
+  engine.run();
+  EXPECT_NEAR(done, 0.010 + config.shm_latency, 1e-9);
+  // NIC links untouched.
+  EXPECT_DOUBLE_EQ(cluster.node(0).egress().bytes_moved, 0.0);
+}
+
+TEST_F(NetFixture, BandwidthCapLowersRate) {
+  double done = -1;
+  engine.spawn([](sim::Engine& e, Fabric& f, hpc::Node& a, hpc::Node& b,
+                  double& out) -> sim::Task<> {
+    co_await f.transfer(a, b, 1'200'000, 1.2e9);  // capped at 1.2 GB/s
+    out = e.now();
+  }(engine, fabric, cluster.node(0), cluster.node(1), done));
+  engine.run();
+  EXPECT_NEAR(done, 0.001 + fabric.latency(cluster.node(0), cluster.node(1)), 1e-9);
+}
+
+TEST_F(NetFixture, UgniTransferRunsAtInjectionBandwidth) {
+  RdmaTransport rdma(engine, fabric, TransportKind::kRdmaUgni);
+  double done = -1;
+  engine.spawn([](sim::Engine& e, RdmaTransport& t, Endpoint a, Endpoint b,
+                  double& out) -> sim::Task<> {
+    EXPECT_TRUE((co_await t.connect(a, b)).is_ok());
+    Status s = co_await t.transfer(a, b, 55'000'000, {});
+    EXPECT_TRUE(s.is_ok()) << s;
+    out = e.now();
+  }(engine, rdma, ep(1, 0), ep(2, 1), done));
+  engine.run();
+  ASSERT_TRUE(engine.process_failures().empty());
+  EXPECT_NEAR(done, 0.010 + fabric.latency(cluster.node(0), cluster.node(1)), 1e-9);
+  // Transient registrations released afterwards.
+  EXPECT_EQ(cluster.node(0).rdma().bytes_used(), 0u);
+  EXPECT_EQ(cluster.node(1).rdma().bytes_used(), 0u);
+}
+
+TEST_F(NetFixture, NntiSlowerThanUgniButFasterThanSockets) {
+  RdmaTransport ugni(engine, fabric, TransportKind::kRdmaUgni);
+  RdmaTransport nnti(engine, fabric, TransportKind::kRdmaNnti);
+  SocketTransport sock(engine, fabric);
+  double t_ugni = 0, t_nnti = 0, t_sock = 0;
+  auto timed = [](sim::Engine& e, Transport& t, Endpoint a, Endpoint b,
+                  double& out) -> sim::Task<> {
+    (void)co_await t.connect(a, b);
+    double start = e.now();
+    Status s = co_await t.transfer(a, b, 20 * kMiB, {});
+    EXPECT_TRUE(s.is_ok()) << s;
+    out = e.now() - start;
+  };
+  engine.spawn(timed(engine, ugni, ep(1, 0), ep(2, 1), t_ugni));
+  engine.spawn(timed(engine, nnti, ep(3, 2), ep(4, 3), t_nnti));
+  engine.spawn(timed(engine, sock, ep(5, 4), ep(6, 5), t_sock));
+  engine.run();
+  ASSERT_TRUE(engine.process_failures().empty());
+  EXPECT_LT(t_ugni, t_nnti);
+  EXPECT_LT(t_nnti, t_sock);
+  // Sockets are copy-bound: ~bytes / socket_copy_bandwidth.
+  EXPECT_NEAR(t_sock,
+              static_cast<double>(20 * kMiB) / config.socket_copy_bandwidth,
+              2e-3);
+}
+
+TEST_F(NetFixture, RdmaTransferFailsWhenRegistrationExhausted) {
+  RdmaTransport rdma(engine, fabric, TransportKind::kRdmaUgni);
+  // Pre-pin the pool down to less than one transfer fragment (32 MiB), as
+  // a staging server whose staged objects exhausted the node would.
+  auto& pool = cluster.node(1).rdma();
+  ASSERT_TRUE(pool.register_memory(1820 * kMiB).is_ok());
+  Status result;
+  engine.spawn([](RdmaTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    out = co_await t.transfer(a, b, 100 * kMiB, {});
+  }(rdma, ep(1, 0), ep(2, 1), result));
+  engine.run();
+  EXPECT_EQ(result.code(), ErrorCode::kOutOfRdmaMemory);
+  // Source-side transient registration rolled back.
+  EXPECT_EQ(cluster.node(0).rdma().bytes_used(), 0u);
+}
+
+TEST_F(NetFixture, LargeTransfersRegisterFragmentSized) {
+  // DART pipelines bulk payloads through bounded fragments: a 100 MiB
+  // transfer must not need 100 MiB of registered memory transiently.
+  RdmaTransport rdma(engine, fabric, TransportKind::kRdmaUgni);
+  auto& pool = cluster.node(1).rdma();
+  ASSERT_TRUE(pool.register_memory(1800 * kMiB).is_ok());  // 43 MiB free
+  Status result;
+  engine.spawn([](RdmaTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    out = co_await t.transfer(a, b, 100 * kMiB, {});
+  }(rdma, ep(1, 0), ep(2, 1), result));
+  engine.run();
+  EXPECT_TRUE(result.is_ok()) << result;
+}
+
+TEST_F(NetFixture, PinnedSidesSkipTransientRegistration) {
+  RdmaTransport rdma(engine, fabric, TransportKind::kRdmaUgni);
+  auto& pool = cluster.node(1).rdma();
+  ASSERT_TRUE(pool.register_memory(1843 * kMiB).is_ok());  // fully pinned
+  Status result;
+  engine.spawn([](RdmaTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    TransferOptions opts;
+    opts.dst_pinned = true;  // library pre-registered the staging pool
+    out = co_await t.transfer(a, b, 100 * kMiB, opts);
+  }(rdma, ep(1, 0), ep(2, 1), result));
+  engine.run();
+  EXPECT_TRUE(result.is_ok()) << result;
+}
+
+TEST_F(NetFixture, SocketConnectConsumesDescriptorsOnBothNodes) {
+  SocketTransport sock(engine, fabric);
+  engine.spawn([](SocketTransport& t, Endpoint a, Endpoint b) -> sim::Task<> {
+    EXPECT_TRUE((co_await t.connect(a, b)).is_ok());
+    EXPECT_TRUE((co_await t.connect(a, b)).is_ok());  // idempotent
+  }(sock, ep(1, 0), ep(2, 1)));
+  engine.run();
+  EXPECT_EQ(cluster.node(0).sockets().used(), 1);
+  EXPECT_EQ(cluster.node(1).sockets().used(), 1);
+  EXPECT_EQ(sock.open_connections(), 1u);
+}
+
+TEST_F(NetFixture, SocketsDepleteAtScale) {
+  // Table IV "out of sockets": many clients connecting to one node.
+  hpc::MachineConfig small = hpc::testbed();  // 8 descriptors per node
+  hpc::Cluster tiny(small);
+  tiny.allocate_nodes(10);
+  Fabric tiny_fabric(engine, small);
+  SocketTransport sock(engine, tiny_fabric);
+  std::vector<Status> results(9);
+  engine.spawn([](SocketTransport& t, hpc::Cluster& c,
+                  std::vector<Status>& out) -> sim::Task<> {
+    for (int i = 0; i < 9; ++i) {
+      Endpoint client{100 + i, 0, &c.node(i)};
+      Endpoint server{1, 2, &c.node(9)};
+      out[static_cast<std::size_t>(i)] = co_await t.connect(client, server);
+    }
+  }(sock, tiny, results));
+  engine.run();
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(results[i].is_ok()) << i;
+  EXPECT_EQ(results[8].code(), ErrorCode::kOutOfSockets);
+}
+
+TEST_F(NetFixture, DisconnectAllReleasesDescriptors) {
+  SocketTransport sock(engine, fabric);
+  Endpoint a = ep(1, 0), b = ep(2, 1), c = ep(3, 2);
+  engine.spawn([](SocketTransport& t, Endpoint a, Endpoint b,
+                  Endpoint c) -> sim::Task<> {
+    (void)co_await t.connect(a, b);
+    (void)co_await t.connect(a, c);
+  }(sock, a, b, c));
+  engine.run();
+  EXPECT_EQ(cluster.node(0).sockets().used(), 2);
+  sock.disconnect_all(a);
+  EXPECT_EQ(cluster.node(0).sockets().used(), 0);
+  EXPECT_EQ(cluster.node(1).sockets().used(), 0);
+  EXPECT_EQ(sock.open_connections(), 0u);
+}
+
+TEST_F(NetFixture, SocketTransferWithoutConnectFails) {
+  SocketTransport sock(engine, fabric);
+  Status result;
+  engine.spawn([](SocketTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    out = co_await t.transfer(a, b, 1024, {});
+  }(sock, ep(1, 0), ep(2, 1), result));
+  engine.run();
+  EXPECT_EQ(result.code(), ErrorCode::kConnectionFailed);
+}
+
+TEST_F(NetFixture, ShmRequiresColocation) {
+  ShmTransport shm(engine, config);
+  Status cross, same;
+  engine.spawn([](ShmTransport& t, Endpoint a, Endpoint b, Endpoint c,
+                  Status& out_cross, Status& out_same) -> sim::Task<> {
+    out_cross = co_await t.connect(a, b);
+    out_same = co_await t.connect(a, c);
+  }(shm, ep(1, 0, 0), ep(2, 1, 0), ep(3, 0, 0), cross, same));
+  engine.run();
+  EXPECT_EQ(cross.code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(same.is_ok());
+}
+
+TEST_F(NetFixture, ShmCrossJobBlockedOnTitan) {
+  // Titan does not allow two jobs to share a node (§III-B7).
+  ShmTransport shm(engine, config);
+  Status result;
+  engine.spawn([](ShmTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    out = co_await t.connect(a, b);
+  }(shm, ep(1, 0, /*job=*/0), ep(2, 0, /*job=*/1), result));
+  engine.run();
+  EXPECT_EQ(result.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(NetFixture, ShmCrossJobAllowedOnCori) {
+  auto cori = hpc::cori_knl();
+  hpc::Cluster cc(cori);
+  cc.allocate_nodes(1);
+  ShmTransport shm(engine, cori);
+  Status result;
+  Endpoint a{1, 0, &cc.node(0)}, b{2, 1, &cc.node(0)};
+  engine.spawn([](ShmTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    out = co_await t.connect(a, b);
+  }(shm, a, b, result));
+  engine.run();
+  EXPECT_TRUE(result.is_ok()) << result;
+}
+
+TEST(Topology, GeminiTorusWraparound) {
+  sim::Engine engine;
+  auto titan = hpc::titan();  // 25 x 16 x 24 torus
+  hpc::Cluster cluster(titan);
+  cluster.allocate_nodes(26);
+  Fabric fabric(engine, titan);
+  // Adjacent ids differ by one x-coordinate: 1 hop.
+  EXPECT_EQ(fabric.hop_count(cluster.node(0), cluster.node(1)), 1);
+  // x = 0 and x = 24 are torus neighbors (wraparound).
+  EXPECT_EQ(fabric.hop_count(cluster.node(0), cluster.node(24)), 1);
+  // Same x, adjacent y (id 25 = (0,1,0)).
+  EXPECT_EQ(fabric.hop_count(cluster.node(0), cluster.node(25)), 1);
+  // Halfway around the x ring: 12 hops.
+  EXPECT_EQ(fabric.hop_count(cluster.node(0), cluster.node(12)), 12);
+  // Symmetry.
+  EXPECT_EQ(fabric.hop_count(cluster.node(3), cluster.node(17)),
+            fabric.hop_count(cluster.node(17), cluster.node(3)));
+}
+
+TEST(Topology, AriesDragonflyGroups) {
+  sim::Engine engine;
+  auto cori = hpc::cori_knl();  // 384-node groups
+  hpc::Cluster cluster(cori);
+  cluster.allocate_nodes(800);
+  Fabric fabric(engine, cori);
+  EXPECT_EQ(fabric.hop_count(cluster.node(0), cluster.node(100)), 2);
+  EXPECT_EQ(fabric.hop_count(cluster.node(0), cluster.node(500)), 3);
+  EXPECT_EQ(fabric.hop_count(cluster.node(5), cluster.node(5)), 0);
+  // Any pair within 3 hops — the dragonfly diameter.
+  EXPECT_LE(fabric.hop_count(cluster.node(1), cluster.node(799)), 3);
+}
+
+TEST(Topology, LatencyGrowsWithDistance) {
+  sim::Engine engine;
+  auto titan = hpc::titan();
+  hpc::Cluster cluster(titan);
+  cluster.allocate_nodes(16);
+  Fabric fabric(engine, titan);
+  EXPECT_GT(fabric.latency(cluster.node(0), cluster.node(12)),
+            fabric.latency(cluster.node(0), cluster.node(1)));
+  EXPECT_GE(fabric.latency(cluster.node(0), cluster.node(1)),
+            titan.link_latency);
+}
+
+struct DrcFixture : ::testing::Test {
+  DrcFixture() : config(hpc::cori_knl()), cluster(config) {
+    cluster.allocate_nodes(4);
+  }
+  sim::Engine engine;
+  hpc::MachineConfig config;
+  hpc::Cluster cluster;
+};
+
+TEST_F(DrcFixture, GrantsWithinCapacity) {
+  DrcService drc(engine, config);
+  int ok = 0;
+  for (int pid = 0; pid < 100; ++pid) {
+    engine.spawn([](DrcService& d, int pid, int& n) -> sim::Task<> {
+      Status s = co_await d.acquire(pid, 0, pid % 4);
+      if (s.is_ok()) ++n;
+    }(drc, pid, ok));
+  }
+  engine.run();
+  EXPECT_EQ(ok, 100);
+  EXPECT_EQ(drc.granted(), 100u);
+  EXPECT_EQ(drc.rejected(), 0u);
+}
+
+TEST_F(DrcFixture, AcquireIsIdempotentPerProcess) {
+  DrcService drc(engine, config);
+  engine.spawn([](DrcService& d) -> sim::Task<> {
+    EXPECT_TRUE((co_await d.acquire(7, 0, 0)).is_ok());
+    EXPECT_TRUE((co_await d.acquire(7, 0, 0)).is_ok());
+  }(drc));
+  engine.run();
+  EXPECT_EQ(drc.granted(), 1u);
+}
+
+TEST_F(DrcFixture, OverloadAtScale) {
+  // The paper: (8192, 4096) runs fail on Cori because the parallel
+  // credential requests overwhelm the DRC service.
+  hpc::MachineConfig small = config;
+  small.drc_capacity = 50;
+  DrcService drc(engine, small);
+  int ok = 0, overloaded = 0;
+  for (int pid = 0; pid < 200; ++pid) {
+    engine.spawn([](DrcService& d, int pid, int& ok, int& bad) -> sim::Task<> {
+      Status s = co_await d.acquire(pid, 0, pid % 4);
+      if (s.is_ok()) {
+        ++ok;
+      } else if (s.code() == ErrorCode::kDrcOverload) {
+        ++bad;
+      }
+    }(drc, pid, ok, overloaded));
+  }
+  engine.run();
+  EXPECT_EQ(ok, 50);
+  EXPECT_EQ(overloaded, 150);
+  EXPECT_EQ(drc.peak_outstanding(), 50);
+}
+
+TEST_F(DrcFixture, NodeSharingDeniedWithoutNodeInsecure) {
+  DrcService drc(engine, config);  // node-insecure off by default
+  Status first, second;
+  engine.spawn([](DrcService& d, Status& a, Status& b) -> sim::Task<> {
+    a = co_await d.acquire(1, /*job=*/0, /*node=*/0);
+    b = co_await d.acquire(2, /*job=*/1, /*node=*/0);  // other job, same node
+  }(drc, first, second));
+  engine.run();
+  EXPECT_TRUE(first.is_ok());
+  EXPECT_EQ(second.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(DrcFixture, NodeSharingAllowedWithNodeInsecure) {
+  hpc::MachineConfig insecure = config;
+  insecure.drc_node_insecure = true;
+  DrcService drc(engine, insecure);
+  Status first, second;
+  engine.spawn([](DrcService& d, Status& a, Status& b) -> sim::Task<> {
+    a = co_await d.acquire(1, 0, 0);
+    b = co_await d.acquire(2, 1, 0);
+  }(drc, first, second));
+  engine.run();
+  EXPECT_TRUE(first.is_ok());
+  EXPECT_TRUE(second.is_ok()) << second;
+}
+
+TEST_F(DrcFixture, RdmaConnectGoesThroughDrcOnCori) {
+  Fabric fabric(engine, config);
+  DrcService drc(engine, config);
+  RdmaTransport rdma(engine, fabric, TransportKind::kRdmaUgni, &drc);
+  Status result;
+  Endpoint a{1, 0, &cluster.node(0)}, b{2, 0, &cluster.node(1)};
+  engine.spawn([](RdmaTransport& t, Endpoint a, Endpoint b, Status& out)
+                   -> sim::Task<> {
+    out = co_await t.connect(a, b);
+  }(rdma, a, b, result));
+  engine.run();
+  EXPECT_TRUE(result.is_ok()) << result;
+  EXPECT_EQ(drc.granted(), 2u);
+}
+
+}  // namespace
+}  // namespace imc::net

@@ -1,0 +1,262 @@
+// Cross-module property and determinism tests: invariants that must hold
+// over swept parameter spaces, not just hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/units.h"
+#include "dataspaces/regions.h"
+#include "decaf/decaf.h"
+#include "hpc/cluster.h"
+#include "mpi/comm.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "workflow/workflow.h"
+
+namespace imc {
+namespace {
+
+// --- Decaf routing consistency ---------------------------------------------
+//
+// The dataflow's gather loop blocks on expected_senders()/
+// expected_requests() messages; if either inverse ever disagrees with the
+// forward routing the whole pipeline deadlocks. Brute-force the agreement
+// over a (P, D, C) grid.
+
+class DecafRouting
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DecafRouting, SenderAndRequestCountsMatchForwardRouting) {
+  const auto [nprod, ndflow, ncon] = GetParam();
+  sim::Engine engine;
+  auto machine = hpc::testbed();
+  hpc::Cluster cluster(machine);
+  net::Fabric fabric(engine, machine);
+  mpi::Comm world(engine, fabric, cluster,
+                  cluster.place_block(nprod + ndflow + ncon));
+  std::vector<std::unique_ptr<mem::ProcessMemory>> mems;
+  std::vector<mem::ProcessMemory*> ptrs;
+  for (int r = 0; r < nprod + ndflow + ncon; ++r) {
+    mems.push_back(
+        std::make_unique<mem::ProcessMemory>(engine, std::to_string(r)));
+    ptrs.push_back(mems.back().get());
+  }
+  decaf::Dataflow flow(engine, world, 0, nprod, nprod, ndflow, nprod + ndflow,
+                       ncon, {}, ptrs);
+
+  // Forward producer routing vs expected_senders.
+  std::map<int, int> senders;
+  for (int p = 0; p < nprod; ++p) {
+    const auto targets = flow.dflow_targets(p);
+    EXPECT_FALSE(targets.empty()) << "producer " << p << " routes nowhere";
+    for (int d : targets) {
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, ndflow);
+      senders[d] += 1;
+    }
+  }
+  for (int d = 0; d < ndflow; ++d) {
+    EXPECT_EQ(flow.expected_senders(d), senders[d])
+        << "P=" << nprod << " D=" << ndflow << " dflow " << d;
+  }
+
+  // Forward consumer queries vs expected_requests.
+  std::map<int, int> requests;
+  for (int c = 0; c < ncon; ++c) {
+    for (int d : flow.dflow_queries(c)) {
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, ndflow);
+      requests[d] += 1;
+    }
+  }
+  for (int d = 0; d < ndflow; ++d) {
+    EXPECT_EQ(flow.expected_requests(d), requests[d])
+        << "C=" << ncon << " D=" << ndflow << " dflow " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DecafRouting,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16, 64),
+                       ::testing::Values(1, 2, 4, 7, 16),
+                       ::testing::Values(1, 2, 3, 8, 32)));
+
+// --- DataSpaces regions ------------------------------------------------------
+
+class RegionPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionPartition, RegionsPartitionTheDomainForAnyServerCount) {
+  const int servers = GetParam();
+  for (const nda::Dims& global :
+       {nda::Dims{5, 64, 512000}, nda::Dims{4096, 131072},
+        nda::Dims{100, 3, 7}}) {
+    auto regions = dataspaces::staging_regions(global, servers);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      total += regions[i].volume();
+      for (std::size_t j = i + 1; j < regions.size(); ++j) {
+        EXPECT_FALSE(nda::intersect(regions[i], regions[j]).has_value());
+      }
+      // Every region maps to a valid server.
+      const int s = dataspaces::server_of_region(static_cast<int>(i), servers);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, servers);
+    }
+    EXPECT_EQ(total, nda::Box::whole(global).volume());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, RegionPartition,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 64, 200));
+
+// --- Determinism ---------------------------------------------------------------
+//
+// The whole study rests on runs being reproducible: identical specs must
+// produce bit-identical metrics.
+
+TEST(Determinism, IdenticalSpecsProduceIdenticalResults) {
+  workflow::Spec spec;
+  spec.app = workflow::AppSel::kLammps;
+  spec.method = workflow::MethodSel::kDataspacesNative;
+  spec.machine = hpc::titan();
+  spec.nsim = 16;
+  spec.nana = 8;
+  spec.steps = 2;
+  spec.lammps_atoms_per_proc = 4000;
+
+  auto a = workflow::run(spec);
+  auto b = workflow::run(spec);
+  ASSERT_TRUE(a.ok) << a.failure_summary();
+  ASSERT_TRUE(b.ok) << b.failure_summary();
+  EXPECT_EQ(a.end_to_end, b.end_to_end);  // bitwise, not approximate
+  EXPECT_EQ(a.sim_staging, b.sim_staging);
+  EXPECT_EQ(a.ana_staging, b.ana_staging);
+  EXPECT_EQ(a.sim_rank_peak, b.sim_rank_peak);
+  EXPECT_EQ(a.server_peak, b.server_peak);
+  EXPECT_EQ(a.sample_analysis_value, b.sample_analysis_value);
+}
+
+TEST(Determinism, MethodChangesOnlyWhatItShould) {
+  // Compute phases are I/O-independent: the same workflow through two
+  // different staging methods must report identical per-rank compute.
+  workflow::Spec spec;
+  spec.app = workflow::AppSel::kLaplace;
+  spec.machine = hpc::cori_knl();
+  spec.nsim = 8;
+  spec.nana = 4;
+  spec.steps = 2;
+  spec.laplace_rows = 64;
+  spec.laplace_cols_per_proc = 64;
+
+  spec.method = workflow::MethodSel::kDataspacesNative;
+  auto ds = workflow::run(spec);
+  spec.method = workflow::MethodSel::kFlexpath;
+  auto fp = workflow::run(spec);
+  ASSERT_TRUE(ds.ok && fp.ok);
+  EXPECT_EQ(ds.sim_compute, fp.sim_compute);
+  EXPECT_EQ(ds.ana_compute, fp.ana_compute);
+}
+
+// --- Content integrity under every method --------------------------------------
+
+class ContentIntegrity : public ::testing::TestWithParam<workflow::MethodSel> {
+};
+
+TEST_P(ContentIntegrity, AnalysisSeesIdenticalDataThroughEveryMethod) {
+  // The MSD computed at the end of the pipeline is a content fingerprint:
+  // it must not depend on which staging library moved the bytes.
+  workflow::Spec spec;
+  spec.app = workflow::AppSel::kLammps;
+  spec.machine = hpc::titan();
+  spec.nsim = 8;
+  spec.nana = 4;
+  spec.steps = 2;
+  spec.lammps_atoms_per_proc = 2000;
+
+  spec.method = workflow::MethodSel::kMpiIo;  // reference
+  auto reference = workflow::run(spec);
+  ASSERT_TRUE(reference.ok) << reference.failure_summary();
+
+  spec.method = GetParam();
+  auto result = workflow::run(spec);
+  ASSERT_TRUE(result.ok) << result.failure_summary();
+  EXPECT_DOUBLE_EQ(result.sample_analysis_value,
+                   reference.sample_analysis_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, ContentIntegrity,
+    ::testing::Values(workflow::MethodSel::kDataspacesNative,
+                      workflow::MethodSel::kDimesNative,
+                      workflow::MethodSel::kFlexpath,
+                      workflow::MethodSel::kDecaf),
+    [](const auto& info) {
+      std::string name{to_string(info.param)};
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- Weak-scaling shape (the core of Fig. 2) -----------------------------------
+
+class WeakScaling : public ::testing::TestWithParam<workflow::MethodSel> {};
+
+TEST_P(WeakScaling, InMemoryEndToEndStaysNearFlat) {
+  // Weak scaling with per-rank output fixed: the in-memory libraries'
+  // end-to-end time must grow only mildly with the processor count (the
+  // flat curves of Fig. 2a), unlike MPI-IO.
+  double first = 0, last = 0;
+  for (int nsim : {32, 128, 512}) {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLammps;
+    spec.method = GetParam();
+    spec.machine = hpc::titan();
+    spec.nsim = nsim;
+    spec.nana = nsim / 2;
+    spec.steps = 2;
+    auto result = workflow::run(spec);
+    ASSERT_TRUE(result.ok) << nsim << ": " << result.failure_summary();
+    if (nsim == 32) first = result.end_to_end;
+    last = result.end_to_end;
+  }
+  EXPECT_LT(last, first * 1.25) << "in-memory staging should weak-scale";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, WeakScaling,
+    ::testing::Values(workflow::MethodSel::kDataspacesNative,
+                      workflow::MethodSel::kDimesNative,
+                      workflow::MethodSel::kFlexpath,
+                      workflow::MethodSel::kDecaf),
+    [](const auto& info) {
+      std::string name{to_string(info.param)};
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(WeakScaling, MpiIoGrowsWithScale) {
+  // The baseline's complement: MPI-IO must NOT stay flat (fixed OSTs and
+  // metadata servers).
+  double first = 0, last = 0;
+  for (int nsim : {32, 512}) {
+    workflow::Spec spec;
+    spec.app = workflow::AppSel::kLammps;
+    spec.method = workflow::MethodSel::kMpiIo;
+    spec.machine = hpc::titan();
+    spec.nsim = nsim;
+    spec.nana = nsim / 2;
+    spec.steps = 2;
+    auto result = workflow::run(spec);
+    ASSERT_TRUE(result.ok) << result.failure_summary();
+    if (nsim == 32) first = result.end_to_end;
+    last = result.end_to_end;
+  }
+  EXPECT_GT(last, first * 1.1);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace imc::sim {
+namespace {
+
+TEST(Event, ReleasesAllWaiters) {
+  Engine engine;
+  Event event(engine);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](Event& ev, int& n) -> Task<> {
+      co_await ev.wait();
+      ++n;
+    }(event, released));
+  }
+  engine.spawn([](Engine& e, Event& ev) -> Task<> {
+    co_await e.sleep(5);
+    ev.set();
+  }(engine, event));
+  engine.run();
+  EXPECT_EQ(released, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(Event, WaitAfterSetPassesThrough) {
+  Engine engine;
+  Event event(engine);
+  event.set();
+  bool passed = false;
+  engine.spawn([](Event& ev, bool& out) -> Task<> {
+    co_await ev.wait();
+    out = true;
+  }(event, passed));
+  engine.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Event, DoubleSetIsIdempotent) {
+  Engine engine;
+  Event event(engine);
+  event.set();
+  event.set();
+  EXPECT_TRUE(event.is_set());
+}
+
+TEST(Semaphore, TryAcquireRespectsCount) {
+  Engine engine;
+  Semaphore sem(engine, 10);
+  EXPECT_TRUE(sem.try_acquire(4));
+  EXPECT_TRUE(sem.try_acquire(6));
+  EXPECT_FALSE(sem.try_acquire(1));
+  sem.release(5);
+  EXPECT_EQ(sem.available(), 5u);
+  EXPECT_EQ(sem.in_use(), 5u);
+}
+
+TEST(Semaphore, BlocksUntilRelease) {
+  Engine engine;
+  Semaphore sem(engine, 1);
+  std::vector<std::string> log;
+  engine.spawn([](Engine& e, Semaphore& s, std::vector<std::string>& out)
+                   -> Task<> {
+    co_await s.acquire();
+    out.push_back("a-got");
+    co_await e.sleep(3);
+    s.release();
+    out.push_back("a-released");
+  }(engine, sem, log));
+  engine.spawn([](Engine& e, Semaphore& s, std::vector<std::string>& out)
+                   -> Task<> {
+    co_await e.sleep(1);  // arrive second
+    co_await s.acquire();
+    out.push_back("b-got at " + std::to_string(e.now()));
+    s.release();
+  }(engine, sem, log));
+  engine.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "a-got");
+  EXPECT_EQ(log[1], "a-released");
+  EXPECT_EQ(log[2], "b-got at 3.000000");
+}
+
+TEST(Semaphore, FifoNoStarvationOfLargeRequest) {
+  // A large request at the head must block later small ones (fairness).
+  Engine engine;
+  Semaphore sem(engine, 4);
+  std::vector<std::string> order;
+  engine.spawn([](Engine& e, Semaphore& s) -> Task<> {
+    co_await s.acquire(4);
+    co_await e.sleep(1);
+    s.release(4);
+  }(engine, sem));
+  engine.spawn([](Semaphore& s, std::vector<std::string>& out) -> Task<> {
+    co_await s.acquire(4);  // queued first
+    out.push_back("big");
+    s.release(4);
+  }(sem, order));
+  engine.spawn([](Semaphore& s, std::vector<std::string>& out) -> Task<> {
+    co_await s.acquire(1);  // queued second; must NOT jump the big request
+    out.push_back("small");
+    s.release(1);
+  }(sem, order));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"big", "small"}));
+}
+
+TEST(Semaphore, WaitingCount) {
+  Engine engine;
+  Semaphore sem(engine, 0);
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](Semaphore& s) -> Task<> {
+      co_await s.acquire();
+      s.release();
+    }(sem));
+  }
+  engine.run();
+  EXPECT_EQ(sem.waiting(), 3u);
+  sem.add_capacity(1);
+  engine.run();
+  EXPECT_EQ(sem.waiting(), 0u);
+}
+
+TEST(Queue, DeliversInPushOrder) {
+  Engine engine;
+  Queue<int> queue(engine);
+  std::vector<int> got;
+  engine.spawn([](Queue<int>& q, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 4; ++i) out.push_back(co_await q.pop());
+  }(queue, got));
+  engine.spawn([](Engine& e, Queue<int>& q) -> Task<> {
+    q.push(1);
+    q.push(2);
+    co_await e.sleep(1);
+    q.push(3);
+    q.push(4);
+  }(engine, queue));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Queue, MultipleConsumersEachGetOneItem) {
+  Engine engine;
+  Queue<int> queue(engine);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](Queue<int>& q, std::vector<int>& out) -> Task<> {
+      out.push_back(co_await q.pop());
+    }(queue, got));
+  }
+  engine.spawn([](Queue<int>& q) -> Task<> {
+    q.push(10);
+    q.push(20);
+    q.push(30);
+    co_return;
+  }(queue));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Queue, PopBeforeAnyPushSuspends) {
+  Engine engine;
+  Queue<std::string> queue(engine);
+  std::string got;
+  engine.spawn([](Queue<std::string>& q, std::string& out) -> Task<> {
+    out = co_await q.pop();
+  }(queue, got));
+  engine.spawn([](Engine& e, Queue<std::string>& q) -> Task<> {
+    co_await e.sleep(2);
+    q.push("late");
+  }(engine, queue));
+  engine.run();
+  EXPECT_EQ(got, "late");
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Queue, ImmediatePopDoesNotStealFromScheduledPopper) {
+  Engine engine;
+  Queue<int> queue(engine);
+  std::vector<int> a_got, b_got;
+  // A pops first (suspends). Then one push wakes A; B pops at the same
+  // instant — there is only one item, so B must suspend, not steal it.
+  engine.spawn([](Queue<int>& q, std::vector<int>& out) -> Task<> {
+    out.push_back(co_await q.pop());
+  }(queue, a_got));
+  engine.spawn([](Engine& e, Queue<int>& q, std::vector<int>& out) -> Task<> {
+    co_await e.sleep(1);
+    q.push(111);
+    out.push_back(co_await q.pop());  // must wait for the second push
+    co_return;
+  }(engine, queue, b_got));
+  engine.spawn([](Engine& e, Queue<int>& q) -> Task<> {
+    co_await e.sleep(2);
+    q.push(222);
+  }(engine, queue));
+  engine.run();
+  EXPECT_EQ(a_got, (std::vector<int>{111}));
+  EXPECT_EQ(b_got, (std::vector<int>{222}));
+}
+
+TEST(Barrier, AllPartiesMeet) {
+  Engine engine;
+  Barrier barrier(engine, 4);
+  std::vector<double> times;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn([](Engine& e, Barrier& b, std::vector<double>& out,
+                    int id) -> Task<> {
+      co_await e.sleep(id);  // staggered arrivals at t=0,1,2,3
+      co_await b.arrive_and_wait();
+      out.push_back(e.now());
+    }(engine, barrier, times, i));
+  }
+  engine.run();
+  ASSERT_EQ(times.size(), 4u);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 3.0);  // all released together
+}
+
+TEST(Barrier, Reusable) {
+  Engine engine;
+  Barrier barrier(engine, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn([](Engine& e, Barrier& b, int& n, int id) -> Task<> {
+      for (int round = 0; round < 3; ++round) {
+        co_await e.sleep(id + 1);
+        co_await b.arrive_and_wait();
+      }
+      ++n;
+    }(engine, barrier, rounds_done, i));
+  }
+  engine.run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Barrier, SinglePartyPassesThrough) {
+  Engine engine;
+  Barrier barrier(engine, 1);
+  bool done = false;
+  engine.spawn([](Barrier& b, bool& out) -> Task<> {
+    co_await b.arrive_and_wait();
+    out = true;
+  }(barrier, done));
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace imc::sim
