@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gpu.dir/bench_ext_gpu.cpp.o"
+  "CMakeFiles/bench_ext_gpu.dir/bench_ext_gpu.cpp.o.d"
+  "bench_ext_gpu"
+  "bench_ext_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_transport.dir/bench_fig10_transport.cpp.o"
+  "CMakeFiles/bench_fig10_transport.dir/bench_fig10_transport.cpp.o.d"
+  "bench_fig10_transport"
+  "bench_fig10_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_decaf_servers.dir/bench_fig11_decaf_servers.cpp.o"
+  "CMakeFiles/bench_fig11_decaf_servers.dir/bench_fig11_decaf_servers.cpp.o.d"
+  "bench_fig11_decaf_servers"
+  "bench_fig11_decaf_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_decaf_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

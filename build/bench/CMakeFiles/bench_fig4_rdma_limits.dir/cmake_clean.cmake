@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rdma_limits.dir/bench_fig4_rdma_limits.cpp.o"
+  "CMakeFiles/bench_fig4_rdma_limits.dir/bench_fig4_rdma_limits.cpp.o.d"
+  "bench_fig4_rdma_limits"
+  "bench_fig4_rdma_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rdma_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_layout_impact.dir/bench_fig9_layout_impact.cpp.o"
+  "CMakeFiles/bench_fig9_layout_impact.dir/bench_fig9_layout_impact.cpp.o.d"
+  "bench_fig9_layout_impact"
+  "bench_fig9_layout_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_layout_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_configurations.dir/bench_tab1_configurations.cpp.o"
+  "CMakeFiles/bench_tab1_configurations.dir/bench_tab1_configurations.cpp.o.d"
+  "bench_tab1_configurations"
+  "bench_tab1_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

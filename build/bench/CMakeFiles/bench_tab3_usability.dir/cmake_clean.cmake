@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_usability.dir/bench_tab3_usability.cpp.o"
+  "CMakeFiles/bench_tab3_usability.dir/bench_tab3_usability.cpp.o.d"
+  "bench_tab3_usability"
+  "bench_tab3_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

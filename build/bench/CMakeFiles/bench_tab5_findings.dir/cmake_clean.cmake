@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_findings.dir/bench_tab5_findings.cpp.o"
+  "CMakeFiles/bench_tab5_findings.dir/bench_tab5_findings.cpp.o.d"
+  "bench_tab5_findings"
+  "bench_tab5_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

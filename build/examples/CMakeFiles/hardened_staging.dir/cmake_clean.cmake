@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardened_staging.dir/hardened_staging.cpp.o"
+  "CMakeFiles/hardened_staging.dir/hardened_staging.cpp.o.d"
+  "hardened_staging"
+  "hardened_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardened_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lammps_msd.dir/lammps_msd.cpp.o"
+  "CMakeFiles/lammps_msd.dir/lammps_msd.cpp.o.d"
+  "lammps_msd"
+  "lammps_msd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lammps_msd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

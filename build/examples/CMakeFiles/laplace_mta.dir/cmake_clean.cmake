@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_mta.dir/laplace_mta.cpp.o"
+  "CMakeFiles/laplace_mta.dir/laplace_mta.cpp.o.d"
+  "laplace_mta"
+  "laplace_mta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_mta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

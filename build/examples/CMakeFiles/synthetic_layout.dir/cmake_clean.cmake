@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_layout.dir/synthetic_layout.cpp.o"
+  "CMakeFiles/synthetic_layout.dir/synthetic_layout.cpp.o.d"
+  "synthetic_layout"
+  "synthetic_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

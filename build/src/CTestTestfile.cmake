@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("hpc")
+subdirs("net")
+subdirs("lustre")
+subdirs("mpi")
+subdirs("ndarray")
+subdirs("serial")
+subdirs("dataspaces")
+subdirs("dimes")
+subdirs("flexpath")
+subdirs("decaf")
+subdirs("adios")
+subdirs("apps")
+subdirs("workflow")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_adios.dir/adios.cpp.o"
+  "CMakeFiles/imc_adios.dir/adios.cpp.o.d"
+  "CMakeFiles/imc_adios.dir/xml.cpp.o"
+  "CMakeFiles/imc_adios.dir/xml.cpp.o.d"
+  "libimc_adios.a"
+  "libimc_adios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_adios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_apps.dir/analysis.cpp.o"
+  "CMakeFiles/imc_apps.dir/analysis.cpp.o.d"
+  "CMakeFiles/imc_apps.dir/apps.cpp.o"
+  "CMakeFiles/imc_apps.dir/apps.cpp.o.d"
+  "CMakeFiles/imc_apps.dir/kernels.cpp.o"
+  "CMakeFiles/imc_apps.dir/kernels.cpp.o.d"
+  "libimc_apps.a"
+  "libimc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

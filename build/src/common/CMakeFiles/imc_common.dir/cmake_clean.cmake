@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_common.dir/hilbert.cpp.o"
+  "CMakeFiles/imc_common.dir/hilbert.cpp.o.d"
+  "CMakeFiles/imc_common.dir/log.cpp.o"
+  "CMakeFiles/imc_common.dir/log.cpp.o.d"
+  "CMakeFiles/imc_common.dir/status.cpp.o"
+  "CMakeFiles/imc_common.dir/status.cpp.o.d"
+  "CMakeFiles/imc_common.dir/units.cpp.o"
+  "CMakeFiles/imc_common.dir/units.cpp.o.d"
+  "libimc_common.a"
+  "libimc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_dataspaces.dir/dataspaces.cpp.o"
+  "CMakeFiles/imc_dataspaces.dir/dataspaces.cpp.o.d"
+  "CMakeFiles/imc_dataspaces.dir/locks.cpp.o"
+  "CMakeFiles/imc_dataspaces.dir/locks.cpp.o.d"
+  "CMakeFiles/imc_dataspaces.dir/regions.cpp.o"
+  "CMakeFiles/imc_dataspaces.dir/regions.cpp.o.d"
+  "libimc_dataspaces.a"
+  "libimc_dataspaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_dataspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_decaf.dir/decaf.cpp.o"
+  "CMakeFiles/imc_decaf.dir/decaf.cpp.o.d"
+  "libimc_decaf.a"
+  "libimc_decaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_decaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_dimes.dir/dimes.cpp.o"
+  "CMakeFiles/imc_dimes.dir/dimes.cpp.o.d"
+  "libimc_dimes.a"
+  "libimc_dimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_dimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_flexpath.dir/flexpath.cpp.o"
+  "CMakeFiles/imc_flexpath.dir/flexpath.cpp.o.d"
+  "libimc_flexpath.a"
+  "libimc_flexpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_flexpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

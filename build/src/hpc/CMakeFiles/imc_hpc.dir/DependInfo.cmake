@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/cluster.cpp" "src/hpc/CMakeFiles/imc_hpc.dir/cluster.cpp.o" "gcc" "src/hpc/CMakeFiles/imc_hpc.dir/cluster.cpp.o.d"
+  "/root/repo/src/hpc/machine.cpp" "src/hpc/CMakeFiles/imc_hpc.dir/machine.cpp.o" "gcc" "src/hpc/CMakeFiles/imc_hpc.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/imc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_hpc.dir/cluster.cpp.o"
+  "CMakeFiles/imc_hpc.dir/cluster.cpp.o.d"
+  "CMakeFiles/imc_hpc.dir/machine.cpp.o"
+  "CMakeFiles/imc_hpc.dir/machine.cpp.o.d"
+  "libimc_hpc.a"
+  "libimc_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

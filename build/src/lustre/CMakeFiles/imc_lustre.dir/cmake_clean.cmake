@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_lustre.dir/lustre.cpp.o"
+  "CMakeFiles/imc_lustre.dir/lustre.cpp.o.d"
+  "libimc_lustre.a"
+  "libimc_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_mem.dir/memory.cpp.o"
+  "CMakeFiles/imc_mem.dir/memory.cpp.o.d"
+  "libimc_mem.a"
+  "libimc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_mpi.dir/comm.cpp.o"
+  "CMakeFiles/imc_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/imc_mpi.dir/file.cpp.o"
+  "CMakeFiles/imc_mpi.dir/file.cpp.o.d"
+  "libimc_mpi.a"
+  "libimc_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

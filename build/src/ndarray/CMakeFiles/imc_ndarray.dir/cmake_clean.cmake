@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_ndarray.dir/ndarray.cpp.o"
+  "CMakeFiles/imc_ndarray.dir/ndarray.cpp.o.d"
+  "libimc_ndarray.a"
+  "libimc_ndarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_ndarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimc_ndarray.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_net.dir/drc.cpp.o"
+  "CMakeFiles/imc_net.dir/drc.cpp.o.d"
+  "CMakeFiles/imc_net.dir/fabric.cpp.o"
+  "CMakeFiles/imc_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/imc_net.dir/transport.cpp.o"
+  "CMakeFiles/imc_net.dir/transport.cpp.o.d"
+  "libimc_net.a"
+  "libimc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_serial.dir/ffs.cpp.o"
+  "CMakeFiles/imc_serial.dir/ffs.cpp.o.d"
+  "libimc_serial.a"
+  "libimc_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

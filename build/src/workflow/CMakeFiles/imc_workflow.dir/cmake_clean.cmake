@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/imc_workflow.dir/workflow.cpp.o.d"
+  "libimc_workflow.a"
+  "libimc_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataspaces.dir/dataspaces_test.cpp.o"
+  "CMakeFiles/test_dataspaces.dir/dataspaces_test.cpp.o.d"
+  "CMakeFiles/test_dataspaces.dir/locks_test.cpp.o"
+  "CMakeFiles/test_dataspaces.dir/locks_test.cpp.o.d"
+  "test_dataspaces"
+  "test_dataspaces.pdb"
+  "test_dataspaces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decaf.dir/decaf_test.cpp.o"
+  "CMakeFiles/test_decaf.dir/decaf_test.cpp.o.d"
+  "test_decaf"
+  "test_decaf.pdb"
+  "test_decaf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimes.dir/dimes_test.cpp.o"
+  "CMakeFiles/test_dimes.dir/dimes_test.cpp.o.d"
+  "test_dimes"
+  "test_dimes.pdb"
+  "test_dimes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

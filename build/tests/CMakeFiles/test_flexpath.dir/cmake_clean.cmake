@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexpath.dir/flexpath_test.cpp.o"
+  "CMakeFiles/test_flexpath.dir/flexpath_test.cpp.o.d"
+  "test_flexpath"
+  "test_flexpath.pdb"
+  "test_flexpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

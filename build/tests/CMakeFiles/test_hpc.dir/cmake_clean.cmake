@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpc.dir/hpc_test.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc_test.cpp.o.d"
+  "test_hpc"
+  "test_hpc.pdb"
+  "test_hpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lustre_test.cpp" "tests/CMakeFiles/test_lustre.dir/lustre_test.cpp.o" "gcc" "tests/CMakeFiles/test_lustre.dir/lustre_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lustre/CMakeFiles/imc_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/imc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/imc_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/imc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/imc_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

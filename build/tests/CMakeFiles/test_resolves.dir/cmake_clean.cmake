@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolves.dir/resolves_test.cpp.o"
+  "CMakeFiles/test_resolves.dir/resolves_test.cpp.o.d"
+  "test_resolves"
+  "test_resolves.pdb"
+  "test_resolves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

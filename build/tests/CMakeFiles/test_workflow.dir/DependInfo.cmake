@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workflow_test.cpp" "tests/CMakeFiles/test_workflow.dir/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/test_workflow.dir/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/imc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/decaf/CMakeFiles/imc_decaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/imc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/adios/CMakeFiles/imc_adios.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/imc_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataspaces/CMakeFiles/imc_dataspaces.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimes/CMakeFiles/imc_dimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexpath/CMakeFiles/imc_flexpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/imc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/imc_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/imc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/imc_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/imc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/imc_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

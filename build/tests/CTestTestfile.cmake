@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_hpc[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_lustre[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_ndarray[1]_include.cmake")
+include("/root/repo/build/tests/test_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_dataspaces[1]_include.cmake")
+include("/root/repo/build/tests/test_dimes[1]_include.cmake")
+include("/root/repo/build/tests/test_flexpath[1]_include.cmake")
+include("/root/repo/build/tests/test_decaf[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_adios[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_resolves[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
