@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI entry point: hardened Debug build (ASan+UBSan, -Werror), full test
+# suite (includes the determinism harness, leak auditors, and lint.py as
+# ctest entries), plus clang-tidy over changed files when available.
+#
+# Usage: scripts/ci.sh [build-dir]     (default: build-ci)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+
+echo "==> configure (Debug, ASan+UBSan, -Werror)"
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DIMC_CHECK=ON \
+  -DIMC_SANITIZE="address;undefined" \
+  -DCMAKE_CXX_FLAGS="-Werror" \
+  ${CMAKE_GENERATOR:+-G "$CMAKE_GENERATOR"}
+
+echo "==> build"
+cmake --build "$build" -j "$(nproc)"
+
+echo "==> test (unit + determinism harness + leak audits + lint)"
+ctest --test-dir "$build" -j "$(nproc)" --output-on-failure
+
+echo "==> lint (standalone, full tree)"
+python3 "$repo/scripts/lint.py" "$repo/src"
+
+# clang-tidy on files changed relative to the default branch; advisory if the
+# toolchain only ships gcc.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> clang-tidy (changed files)"
+  base="$(git -C "$repo" merge-base HEAD origin/main 2>/dev/null ||
+          git -C "$repo" rev-list --max-parents=0 HEAD | tail -1)"
+  changed="$(git -C "$repo" diff --name-only "$base" -- 'src/*.cpp' || true)"
+  if [ -n "$changed" ]; then
+    (cd "$repo" && clang-tidy -p "$build" $changed)
+  else
+    echo "no changed sources"
+  fi
+else
+  echo "==> clang-tidy not installed; skipping (gcc-only toolchain)"
+fi
+
+echo "==> CI OK"

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Source lint for the simulation substrate.
+
+Flags constructions that break determinism or silently drop errors:
+
+  wall-clock        real-time clocks in simulation code (std::chrono clocks,
+                    gettimeofday) — virtual time must come from sim::Engine
+  global-rng        std::random_device / std::mt19937 / rand / srand — all
+                    randomness must flow through the seeded common/rng.h
+  discarded-await   `(void)co_await ...` — throwing away an awaited
+                    Status/Result hides failures
+  discarded-status  `(void)call(...)` — same, for synchronous calls
+  ref-capture-await lambda capturing by reference whose body contains
+                    co_await — the frame may outlive the captured locals
+
+Suppress a finding by putting `imc-lint: allow(<rule>)` in a comment on the
+offending line (or the line above), stating why.
+
+Usage: lint.py <dir-or-file>...   (exit 1 if any finding survives)
+"""
+
+import os
+import re
+import sys
+
+RULES = [
+    ("wall-clock",
+     re.compile(r"std::chrono::(?:system_clock|steady_clock|"
+                r"high_resolution_clock)|\bgettimeofday\s*\(")),
+    ("global-rng",
+     re.compile(r"std::random_device|std::mt19937|\bsrand\s*\(|"
+                r"(?<![\w:])rand\s*\(")),
+    ("discarded-await", re.compile(r"\(void\)\s*co_await\b")),
+    ("discarded-status",
+     re.compile(r"\(void\)\s*(?!co_await\b)[A-Za-z_][\w:]*(?:\.|->)?[\w:]*"
+                r"\s*\(")),
+]
+
+LAMBDA_REF_CAPTURE = re.compile(r"(?<![\w\]])\[\s*&")
+ALLOW = re.compile(r"imc-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving offsets."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_lines, lineno):
+    """Suppressions on this line or the line above (1-based lineno)."""
+    rules = set()
+    for idx in (lineno - 1, lineno - 2):
+        if 0 <= idx < len(raw_lines):
+            m = ALLOW.search(raw_lines[idx])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lambda_body_has_await(code, start):
+    """From a `[&` introducer, brace-match the lambda body if one follows."""
+    close = code.find("]", start)
+    if close == -1:
+        return False
+    # Skip params / specifiers / trailing return type up to the body brace.
+    i = close + 1
+    limit = min(len(code), i + 400)
+    while i < limit and code[i] != "{":
+        if code[i] == ";":
+            return False  # not a lambda after all
+        i += 1
+    if i >= limit or code[i] != "{":
+        return False
+    depth = 0
+    body_start = i
+    while i < len(code):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return "co_await" in code[body_start:i]
+        i += 1
+    return False
+
+
+def lint_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    raw_lines = text.split("\n")
+    code = strip_comments_and_strings(text)
+    code_lines = code.split("\n")
+    findings = []
+
+    for lineno, line in enumerate(code_lines, start=1):
+        for rule, pattern in RULES:
+            if pattern.search(line) and rule not in allowed_rules(
+                    raw_lines, lineno):
+                findings.append((path, lineno, rule, raw_lines[lineno - 1]))
+
+    for m in LAMBDA_REF_CAPTURE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if "ref-capture-await" in allowed_rules(raw_lines, lineno):
+            continue
+        if lambda_body_has_await(code, m.start()):
+            findings.append((path, lineno, "ref-capture-await",
+                            raw_lines[lineno - 1]))
+    return findings
+
+
+def main(argv):
+    targets = argv[1:] or ["src"]
+    files = []
+    for target in targets:
+        if os.path.isfile(target):
+            files.append(target)
+            continue
+        if not os.path.isdir(target):
+            print(f"lint: no such file or directory: {target}")
+            return 2
+        for root, _, names in os.walk(target):
+            files.extend(
+                os.path.join(root, n) for n in names
+                if n.endswith((".h", ".cpp", ".cc", ".hpp")))
+
+    findings = []
+    for path in sorted(files):
+        findings.extend(lint_file(path))
+
+    for path, lineno, rule, line in findings:
+        print(f"{path}:{lineno}: [{rule}] {line.strip()}")
+    if findings:
+        print(f"\n{len(findings)} lint finding(s). Suppress intentional "
+              "ones with `imc-lint: allow(<rule>)` and a justification.")
+        return 1
+    print(f"lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,206 @@
+#include "check/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace imc::check {
+namespace {
+
+std::string schedule_label(const sim::Schedule& s) {
+  std::ostringstream os;
+  os << sim::to_string(s.tie_break);
+  if (s.tie_break == sim::TieBreak::kSeededShuffle) {
+    os << "(seed=" << s.seed << ")";
+  }
+  return os.str();
+}
+
+// The first event index at which two pop traces differ, formatted for a
+// failure message. Traces are optional; without them only the digests are
+// known.
+std::string trace_divergence(const Outcome& a, const Outcome& b) {
+  const std::size_t n = std::min(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.trace[i] == b.trace[i])) {
+      std::ostringstream os;
+      os << "first divergence at event #" << i << ": (t=" << a.trace[i].time
+         << ", seq=" << a.trace[i].seq << ") vs (t=" << b.trace[i].time
+         << ", seq=" << b.trace[i].seq << ")";
+      return os.str();
+    }
+  }
+  if (a.trace.size() != b.trace.size()) {
+    std::ostringstream os;
+    os << "event streams diverge after " << n << " shared events ("
+       << a.trace.size() << " vs " << b.trace.size() << " recorded)";
+    return os.str();
+  }
+  return "digest mismatch beyond the recorded trace prefix";
+}
+
+// The first line on which two `exact` fingerprints differ.
+std::string exact_divergence(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  int line = 0;
+  for (;;) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return "exact fingerprints differ (no differing line?)";
+    ++line;
+    if (ga != gb || la != lb) {
+      std::ostringstream os;
+      os << "line " << line << ": \"" << (ga ? la : std::string("<eof>"))
+         << "\" vs \"" << (gb ? lb : std::string("<eof>")) << "\"";
+      return os.str();
+    }
+  }
+}
+
+bool within_tolerance(double a, double b, double rel) {
+  if (a == b) return true;
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel * scale;
+}
+
+}  // namespace
+
+std::string Report::to_string() const {
+  if (deterministic) return "deterministic";
+  std::ostringstream os;
+  os << divergences.size() << " divergence(s):";
+  for (const auto& d : divergences) os << "\n  " << d;
+  return os.str();
+}
+
+Report run_deterministic(const std::string& name, const Scenario& scenario,
+                         const Options& options) {
+  Report report;
+  std::vector<std::pair<std::string, Outcome>> baselines;
+
+  for (const auto& schedule : options.schedules) {
+    const std::string label = schedule_label(schedule);
+    Outcome base;
+    const int repeats = std::max(1, options.repeats);
+    for (int rep = 0; rep < repeats; ++rep) {
+      Outcome out = scenario(schedule);
+      if (rep == 0) {
+        base = std::move(out);
+        continue;
+      }
+      // Same schedule, same program: the event stream must be identical.
+      if (out.digest != base.digest) {
+        report.divergences.push_back(
+            name + " is not reproducible under " + label + " (run " +
+            std::to_string(rep + 1) + "): " + trace_divergence(base, out));
+      } else if (out.exact != base.exact) {
+        report.divergences.push_back(
+            name + " result differs between identical runs under " + label +
+            ": " + exact_divergence(base.exact, out.exact));
+      } else if (out.events != base.events) {
+        report.divergences.push_back(
+            name + " processed " + std::to_string(out.events) + " vs " +
+            std::to_string(base.events) + " events under " + label);
+      }
+    }
+    baselines.emplace_back(label, std::move(base));
+  }
+
+  // Across schedules only the declared outcome must match.
+  if (!baselines.empty()) {
+    const auto& [label0, base] = baselines.front();
+    for (std::size_t i = 1; i < baselines.size(); ++i) {
+      const auto& [label, out] = baselines[i];
+      if (out.exact != base.exact) {
+        report.divergences.push_back(
+            name + ": results under " + label + " differ from " + label0 +
+            " — " + exact_divergence(base.exact, out.exact));
+      }
+      const std::size_t metric_count =
+          std::min(base.metrics.size(), out.metrics.size());
+      for (std::size_t m = 0; m < metric_count; ++m) {
+        const auto& [metric, expected] = base.metrics[m];
+        const auto& [metric_b, actual] = out.metrics[m];
+        if (metric != metric_b) {
+          report.divergences.push_back(name + ": metric lists disagree (" +
+                                       metric + " vs " + metric_b + ")");
+          break;
+        }
+        if (!within_tolerance(expected, actual, options.rel_tolerance)) {
+          std::ostringstream os;
+          os.precision(17);
+          os << name << ": metric " << metric << " = " << actual << " under "
+             << label << " but " << expected << " under " << label0;
+          report.divergences.push_back(os.str());
+        }
+      }
+      if (base.metrics.size() != out.metrics.size()) {
+        report.divergences.push_back(name + ": metric count differs under " +
+                                     label);
+      }
+    }
+  }
+
+  report.deterministic = report.divergences.empty();
+  return report;
+}
+
+Outcome workflow_outcome(const workflow::Spec& spec,
+                         const sim::Schedule& schedule) {
+  workflow::Spec run_spec = spec;
+  run_spec.schedule = schedule;
+  run_spec.record_schedule_trace = true;
+  workflow::RunResult result = workflow::run(run_spec);
+
+  Outcome out;
+  out.digest = result.run_digest;
+  out.events = result.events_processed;
+  out.trace = std::move(result.schedule_trace);
+
+  // Schedule-invariant facts, byte-compared. Failure and leak lines are
+  // sorted: which rank reports first is schedule-dependent, which failures
+  // exist is not.
+  std::ostringstream exact;
+  exact << "ok=" << result.ok << "\n";
+  exact << "servers=" << result.servers_used << "\n";
+  exact << "transfers=" << result.transfers << "\n";
+  std::vector<std::string> failures = result.failures;
+  std::sort(failures.begin(), failures.end());
+  for (const auto& f : failures) exact << "failure: " << f << "\n";
+  std::vector<std::string> leaks = result.leaks;
+  std::sort(leaks.begin(), leaks.end());
+  for (const auto& l : leaks) exact << "leak: " << l << "\n";
+  out.exact = exact.str();
+
+  // Value metrics, tolerance-compared: same-instant reordering may
+  // re-associate floating-point accumulation (~1 ulp). Two classes are
+  // intentionally excluded as legitimately schedule-dependent performance
+  // outcomes, not correctness invariants:
+  //  * spans / end_to_end — under contention, which same-instant request a
+  //    server or link serves first shifts max(arrival + compute) across
+  //    ranks (observable with Decaf's dflow stage);
+  //  * transient memory peaks — an alloc and a free at the same instant may
+  //    legally swap, changing the high-water mark.
+  out.metrics = {
+      {"sim_compute", result.sim_compute},
+      {"ana_compute", result.ana_compute},
+      {"analysis_sample", result.sample_analysis_value},
+      {"bytes_moved", result.bytes_moved},
+  };
+  return out;
+}
+
+Report run_deterministic(const workflow::Spec& spec, const Options& options) {
+  const std::string name =
+      std::string(to_string(spec.app)) + "/" +
+      std::string(to_string(spec.method));
+  return run_deterministic(
+      name,
+      [&spec](const sim::Schedule& schedule) {
+        return workflow_outcome(spec, schedule);
+      },
+      options);
+}
+
+}  // namespace imc::check

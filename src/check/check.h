@@ -1,0 +1,77 @@
+// Schedule-perturbation race detector for the DES substrate.
+//
+// A discrete-event simulation has no data races, but it has their analogue:
+// behaviour that silently depends on which of two same-instant events runs
+// first. The engine's tie-break policy is pluggable (FIFO / LIFO / seeded
+// shuffle), so we can perturb exactly that ordering and require a scenario's
+// observable results to be invariant — the same trick a thread-schedule
+// fuzzer plays on real concurrency. Two layers of comparison:
+//
+//  * repeats under ONE schedule must match digests exactly (hash of every
+//    popped event's (time, seq)) — a mismatch means hidden nondeterminism
+//    (wall clock, unseeded RNG, address-dependent iteration);
+//  * ACROSS schedules the event stream legitimately differs, so only the
+//    scenario's declared outcome is compared: `exact` byte-for-byte, and
+//    `metrics` within a relative tolerance (same-instant reordering can
+//    flip the association of floating-point accumulations by ~1 ulp).
+//
+// See DESIGN.md, "Correctness tooling".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "workflow/workflow.h"
+
+namespace imc::check {
+
+// What one execution of a scenario under one schedule observed.
+struct Outcome {
+  std::uint64_t digest = 0;   // engine (or folded) run digest
+  std::size_t events = 0;     // events processed (same-schedule invariant)
+  std::string exact;          // compared byte-for-byte across schedules
+  std::vector<std::pair<std::string, double>> metrics;  // rel-tol compared
+  std::vector<sim::Engine::TraceEntry> trace;  // optional, for divergences
+};
+
+// A scenario builds a fresh world under the given schedule, runs it, and
+// reports what it observed.
+using Scenario = std::function<Outcome(const sim::Schedule&)>;
+
+struct Options {
+  std::vector<sim::Schedule> schedules = {
+      {sim::TieBreak::kFifo, 0},
+      {sim::TieBreak::kLifo, 0},
+      {sim::TieBreak::kSeededShuffle, 0x9e3779b97f4a7c15ull},
+  };
+  int repeats = 2;               // runs per schedule (digest reproducibility)
+  double rel_tolerance = 1e-9;   // for Outcome::metrics
+};
+
+struct Report {
+  bool deterministic = true;
+  // Human-readable divergence descriptions, first divergence first.
+  std::vector<std::string> divergences;
+  std::string to_string() const;
+};
+
+// Runs `scenario` `options.repeats` times under every schedule in
+// `options.schedules` and cross-checks the outcomes as described above.
+Report run_deterministic(const std::string& name, const Scenario& scenario,
+                         const Options& options = {});
+
+// The detector applied to a full workflow: runs workflow::run(spec) under
+// every schedule and requires invariant results and zero resource leaks.
+Report run_deterministic(const workflow::Spec& spec,
+                         const Options& options = {});
+
+// Executes one workflow run under `schedule` and condenses the RunResult
+// into an Outcome (exposed for tests that want to inspect the fingerprint).
+Outcome workflow_outcome(const workflow::Spec& spec,
+                         const sim::Schedule& schedule);
+
+}  // namespace imc::check

@@ -1,0 +1,91 @@
+#include "common/audit.h"
+
+#include <sstream>
+
+namespace imc::audit {
+
+std::string_view to_string(Resource r) {
+  switch (r) {
+    case Resource::kProcessBytes:
+      return "process-bytes";
+    case Resource::kRdmaBytes:
+      return "rdma-bytes";
+    case Resource::kRdmaHandlers:
+      return "rdma-handlers";
+    case Resource::kSockets:
+      return "sockets";
+    case Resource::kDrcCredential:
+      return "drc-credentials";
+    case Resource::kDsLock:
+      return "ds-locks";
+    case Resource::kStagedObject:
+      return "staged-objects";
+  }
+  return "unknown";
+}
+
+void Auditor::acquire(Resource r, const std::string& owner, std::uint64_t n) {
+  if (n == 0) return;
+  const int idx = static_cast<int>(r);
+  ledger_[idx][owner] += n;
+  totals_[idx] += n;
+}
+
+void Auditor::release(Resource r, const std::string& owner, std::uint64_t n) {
+  if (n == 0) return;
+  const int idx = static_cast<int>(r);
+  auto& ledger = ledger_[idx];
+  auto it = ledger.find(owner);
+  if (it == ledger.end()) {
+    // Releases that outlive a reset() (e.g. a test fixture tearing down
+    // after a nested workflow::run) are clamped rather than reported: leak
+    // detection only needs the outstanding side of the ledger.
+    return;
+  }
+  const std::uint64_t take = n < it->second ? n : it->second;
+  it->second -= take;
+  totals_[idx] -= take;
+  if (it->second == 0) ledger.erase(it);
+}
+
+void Auditor::violation(const std::string& what) {
+  violations_.push_back(what);
+}
+
+std::uint64_t Auditor::outstanding(Resource r) const {
+  return totals_[static_cast<int>(r)];
+}
+
+bool Auditor::clean() const {
+  for (std::uint64_t total : totals_) {
+    if (total != 0) return false;
+  }
+  return violations_.empty();
+}
+
+std::vector<std::string> Auditor::leaks() const {
+  std::vector<std::string> out;
+  for (int idx = 0; idx < kResourceCount; ++idx) {
+    for (const auto& [owner, count] : ledger_[idx]) {
+      std::ostringstream line;
+      line << to_string(static_cast<Resource>(idx)) << ": " << count
+           << " outstanding (" << owner << ")";
+      out.push_back(line.str());
+    }
+  }
+  for (const auto& v : violations_) out.push_back("violation: " + v);
+  return out;
+}
+
+void Auditor::reset() {
+  for (auto& ledger : ledger_) ledger.clear();
+  for (auto& total : totals_) total = 0;
+  violations_.clear();
+}
+
+Auditor& global() {
+  static Auditor auditor;
+  return auditor;
+}
+
+}  // namespace imc::audit

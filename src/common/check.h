@@ -1,0 +1,11 @@
+// Compile-time gate for the correctness-tooling layer (see DESIGN.md,
+// "Correctness tooling"). The CMake option IMC_CHECK (default ON) defines
+// IMC_CHECK=1 globally; when it is off every audit hook below compiles to
+// nothing so release builds pay zero cost.
+#pragma once
+
+#if defined(IMC_CHECK) && IMC_CHECK
+#define IMC_CHECK_ENABLED 1
+#else
+#define IMC_CHECK_ENABLED 0
+#endif

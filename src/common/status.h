@@ -91,8 +91,19 @@ class [[nodiscard]] Result {
   const T& value() const& { return std::get<T>(data_); }
   T&& value() && { return std::get<T>(std::move(data_)); }
 
-  T value_or(T fallback) const {
-    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  // value_or never copies more than it must: called on an lvalue Result it
+  // copies the stored value; called on an rvalue Result it moves it out. The
+  // fallback is perfect-forwarded, so move-only payloads work:
+  //   std::move(result).value_or(nullptr)
+  template <typename U = T>
+  T value_or(U&& fallback) const& {
+    return has_value() ? std::get<T>(data_)
+                       : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U = T>
+  T value_or(U&& fallback) && {
+    return has_value() ? std::get<T>(std::move(data_))
+                       : static_cast<T>(std::forward<U>(fallback));
   }
 
   Status status() const {

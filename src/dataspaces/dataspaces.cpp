@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/audit.h"
 #include "common/log.h"
 #include "net/fabric.h"
 
@@ -91,7 +92,10 @@ const std::vector<nda::Box>& DataSpaces::regions_of(const nda::VarDesc& var) {
 sim::Task<> DataSpaces::server_loop(Server& server) {
   for (;;) {
     Request request = co_await server.queue->pop();
-    if (std::holds_alternative<Shutdown>(request)) break;
+    if (std::holds_alternative<Shutdown>(request)) {
+      teardown_server(server);
+      break;
+    }
     // Serialized per-request service on the single-threaded server.
     co_await engine_->sleep(kServerServiceSeconds);
     if (auto* prep = std::get_if<PutPrep>(&request)) {
@@ -161,7 +165,8 @@ Status DataSpaces::try_stage(Server& server, const PutPrep& req) {
   // Pin it for one-sided RDMA; stays pinned while staged (§III-B1).
   std::uint64_t registered = 0;
   if (transport_is_rdma()) {
-    if (Status st = server.endpoint.node->rdma().register_memory(req.bytes);
+    if (Status st = server.endpoint.node->rdma().register_memory(
+            req.bytes, server.memory->name());
         !st.is_ok()) {
       server.memory->free(mem::Tag::kStaging, req.bytes);
       return st;
@@ -171,6 +176,7 @@ Status DataSpaces::try_stage(Server& server, const PutPrep& req) {
   // Record a placeholder; the content arrives with PutCommit.
   vit->second.objects.push_back(
       StagedObject{req.box, nda::Slab(), req.bytes, registered});
+  audit::acquire(audit::Resource::kStagedObject, server.memory->name());
   server.stats.staged_bytes += req.bytes;
   ++server.stats.puts;
   return Status::ok();
@@ -232,8 +238,10 @@ void DataSpaces::evict_versions(Server& server, const std::string& var,
     for (auto& object : it->second.objects) {
       server.memory->free(mem::Tag::kStaging, object.bytes);
       if (object.registered > 0) {
-        server.endpoint.node->rdma().deregister(object.registered);
+        server.endpoint.node->rdma().deregister(object.registered,
+                                                server.memory->name());
       }
+      audit::release(audit::Resource::kStagedObject, server.memory->name());
       server.stats.staged_bytes -= object.bytes;
       ++server.stats.evicted_objects;
     }
@@ -241,6 +249,35 @@ void DataSpaces::evict_versions(Server& server, const std::string& var,
     server.stats.index_bytes -= it->second.index_bytes;
     it = versions.erase(it);
   }
+}
+
+void DataSpaces::teardown_server(Server& server) {
+  for (auto& [var, versions] : server.staged) {
+    for (auto& [version, entry] : versions) {
+      (void)version;
+      for (auto& object : entry.objects) {
+        server.memory->free(mem::Tag::kStaging, object.bytes);
+        if (object.registered > 0) {
+          server.endpoint.node->rdma().deregister(object.registered,
+                                                  server.memory->name());
+        }
+        audit::release(audit::Resource::kStagedObject, server.memory->name());
+        server.stats.staged_bytes -= object.bytes;
+      }
+      server.memory->free(mem::Tag::kIndex, entry.index_bytes);
+      server.stats.index_bytes -= entry.index_bytes;
+    }
+    (void)var;
+  }
+  server.staged.clear();
+  for (auto& [var, table] : server.index_charged) {
+    (void)var;
+    server.memory->free(mem::Tag::kIndex, table);
+    server.stats.index_bytes -= table;
+  }
+  server.index_charged.clear();
+  server.memory->free(mem::Tag::kLibrary, config_.server_base_bytes);
+  transport_->disconnect_all(server.endpoint);
 }
 
 void DataSpaces::handle_publish(Server& server, const Publish& req) {
@@ -410,6 +447,7 @@ sim::Task<Status> DataSpaces::Client::publish(const nda::VarDesc& var) {
   // dspaces_unlock_on_write is synchronous: wait until every server applied
   // the publish (and its eviction).
   for (std::size_t i = 0; i < ds_->servers_.size(); ++i) {
+    // Pure completion signal, no payload. imc-lint: allow(discarded-await)
     (void)co_await acks.pop();
   }
   co_return Status::ok();

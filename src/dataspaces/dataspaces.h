@@ -214,6 +214,9 @@ class DataSpaces {
   };
 
   sim::Task<> server_loop(Server& server);
+  // Frees everything a server still holds (staged objects, index tables,
+  // base pool, connections) when it exits its loop on Shutdown.
+  void teardown_server(Server& server);
   void evict_versions(Server& server, const std::string& var,
                       int newest_version);
   // One staging attempt: eviction, index charge, memory + registration.

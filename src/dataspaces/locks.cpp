@@ -2,7 +2,16 @@
 
 #include <cassert>
 
+#include "common/audit.h"
+
 namespace imc::dataspaces {
+namespace {
+
+std::string lock_owner(const std::string& name, bool is_writer) {
+  return name + (is_writer ? "#write" : "#read");
+}
+
+}  // namespace
 
 bool LockService::admits(const LockState& lock, bool is_writer) const {
   if (lock_type_ == 3) return true;  // no coordination
@@ -15,7 +24,7 @@ bool LockService::admits(const LockState& lock, bool is_writer) const {
   return !lock.write_held;
 }
 
-void LockService::drain(LockState& lock) {
+void LockService::drain(const std::string& name, LockState& lock) {
   while (!lock.queue.empty() && admits(lock, lock.queue.front().is_writer)) {
     Waiter waiter = lock.queue.front();
     lock.queue.pop_front();
@@ -24,6 +33,8 @@ void LockService::drain(LockState& lock) {
     } else {
       ++lock.readers;
     }
+    audit::acquire(audit::Resource::kDsLock,
+                   lock_owner(name, waiter.is_writer));
     engine_->schedule_now(waiter.handle);
     if (waiter.is_writer) break;  // exclusive: nothing else can follow
   }
@@ -34,6 +45,7 @@ sim::Task<Status> LockService::lock_on_write(const std::string& name) {
   LockState& lock = locks_[name];
   if (lock.queue.empty() && admits(lock, /*is_writer=*/true)) {
     lock.write_held = true;
+    audit::acquire(audit::Resource::kDsLock, lock_owner(name, true));
     co_return Status::ok();
   }
   co_await wait_turn(lock, /*is_writer=*/true);
@@ -47,7 +59,8 @@ void LockService::unlock_on_write(const std::string& name) {
   LockState& lock = locks_[name];
   assert(lock.write_held);
   lock.write_held = false;
-  drain(lock);
+  audit::release(audit::Resource::kDsLock, lock_owner(name, true));
+  drain(name, lock);
 }
 
 sim::Task<Status> LockService::lock_on_read(const std::string& name) {
@@ -55,6 +68,7 @@ sim::Task<Status> LockService::lock_on_read(const std::string& name) {
   LockState& lock = locks_[name];
   if (lock.queue.empty() && admits(lock, /*is_writer=*/false)) {
     ++lock.readers;
+    audit::acquire(audit::Resource::kDsLock, lock_owner(name, false));
     co_return Status::ok();
   }
   co_await wait_turn(lock, /*is_writer=*/false);
@@ -66,7 +80,8 @@ void LockService::unlock_on_read(const std::string& name) {
   LockState& lock = locks_[name];
   assert(lock.readers > 0);
   --lock.readers;
-  drain(lock);
+  audit::release(audit::Resource::kDsLock, lock_owner(name, false));
+  drain(name, lock);
 }
 
 int LockService::active_readers(const std::string& name) const {

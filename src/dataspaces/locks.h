@@ -65,7 +65,7 @@ class LockService {
   };
 
   // Grants as many queued requests as the state admits, FIFO.
-  void drain(LockState& lock);
+  void drain(const std::string& name, LockState& lock);
   bool admits(const LockState& lock, bool is_writer) const;
 
   // Only reached when the fast path could not grant immediately; the grant

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/audit.h"
+
 namespace imc::dimes {
 
 Dimes::Dimes(sim::Engine& engine, hpc::Cluster& cluster,
@@ -65,7 +67,24 @@ Dimes::Server& Dimes::server_for(const std::string& var_name) {
 sim::Task<> Dimes::server_loop(Server& server) {
   for (;;) {
     Request request = co_await server.queue->pop();
-    if (std::holds_alternative<Shutdown>(request)) break;
+    if (std::holds_alternative<Shutdown>(request)) {
+      // Free the metadata directory and base pool, and drop connections, so
+      // a finished run leaves nothing behind on the staging nodes.
+      std::uint64_t entries = 0;
+      for (const auto& [var, versions] : server.directory) {
+        (void)var;
+        for (const auto& [version, descs] : versions) {
+          (void)version;
+          entries += descs.size();
+        }
+      }
+      server.memory->free(mem::Tag::kIndex,
+                          config_.per_object_meta_bytes * entries);
+      server.directory.clear();
+      server.memory->free(mem::Tag::kLibrary, config_.server_base_bytes);
+      transport_->disconnect_all(server.endpoint);
+      break;
+    }
     co_await engine_->sleep(kServerServiceSeconds);
     if (auto* put = std::get_if<PutMeta>(&request)) {
       if (Status st = server.memory->allocate(mem::Tag::kIndex,
@@ -162,7 +181,10 @@ void Dimes::Client::evict_before(const std::string& var, int version) {
   while (it != store_.end()) {
     if (it->var.name == var && it->var.version <= evict_upto) {
       memory_->free(mem::Tag::kStaging, it->bytes);
-      if (it->registered > 0) self_.node->rdma().deregister(it->registered);
+      if (it->registered > 0) {
+        self_.node->rdma().deregister(it->registered, memory_->name());
+      }
+      audit::release(audit::Resource::kStagedObject, memory_->name());
       buffer_used_ -= it->bytes;
       it = store_.erase(it);
     } else {
@@ -201,7 +223,8 @@ sim::Task<Status> Dimes::Client::put(const nda::VarDesc& var,
     // The staged object stays registered in the writer's memory until
     // evicted — this is what depletes compute-node registered memory at
     // 128 MB/proc on Titan (§III-B1).
-    if (Status st = self_.node->rdma().register_memory(bytes); !st.is_ok()) {
+    if (Status st = self_.node->rdma().register_memory(bytes, memory_->name());
+        !st.is_ok()) {
       memory_->free(mem::Tag::kStaging, bytes);
       co_return st;
     }
@@ -209,6 +232,7 @@ sim::Task<Status> Dimes::Client::put(const nda::VarDesc& var,
   }
   store_.push_back(LocalObject{var, slab.extract(slab.box()), bytes,
                                registered});
+  audit::acquire(audit::Resource::kStagedObject, memory_->name());
   buffer_used_ += bytes;
 
   // Descriptor to the metadata server.
@@ -289,6 +313,7 @@ sim::Task<Status> Dimes::Client::publish(const nda::VarDesc& var) {
     server->queue->push(Publish{var.name, var.version, &acks});
   }
   for (std::size_t i = 0; i < dimes_->servers_.size(); ++i) {
+    // Pure completion signal, no payload. imc-lint: allow(discarded-await)
     (void)co_await acks.pop();
   }
   co_return Status::ok();
@@ -309,8 +334,9 @@ void Dimes::Client::finalize() {
   for (auto& object : store_) {
     memory_->free(mem::Tag::kStaging, object.bytes);
     if (object.registered > 0) {
-      self_.node->rdma().deregister(object.registered);
+      self_.node->rdma().deregister(object.registered, memory_->name());
     }
+    audit::release(audit::Resource::kStagedObject, memory_->name());
   }
   store_.clear();
   buffer_used_ = 0;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/status.h"
 #include "hpc/machine.h"
 #include "mem/memory.h"
@@ -34,7 +35,10 @@ class RdmaPool {
   RdmaPool(std::uint64_t byte_capacity, std::uint64_t handler_capacity)
       : byte_capacity_(byte_capacity), handler_capacity_(handler_capacity) {}
 
-  Status register_memory(std::uint64_t size) {
+  // `owner` tags the registration in the leak auditor; acquire/release pairs
+  // must use the same tag.
+  Status register_memory(std::uint64_t size,
+                         const std::string& owner = "untagged") {
     if (handlers_used_ + 1 > handler_capacity_) {
       return make_error(ErrorCode::kOutOfRdmaHandlers,
                         "RDMA memory-handler cap reached (" +
@@ -51,12 +55,18 @@ class RdmaPool {
     bytes_used_ += size;
     peak_bytes_ = std::max(peak_bytes_, bytes_used_);
     peak_handlers_ = std::max(peak_handlers_, handlers_used_);
+    audit::acquire(audit::Resource::kRdmaHandlers, owner, 1);
+    audit::acquire(audit::Resource::kRdmaBytes, owner, size);
     return Status::ok();
   }
 
-  void deregister(std::uint64_t size) {
-    handlers_used_ -= std::min<std::uint64_t>(1, handlers_used_);
-    bytes_used_ -= std::min(size, bytes_used_);
+  void deregister(std::uint64_t size, const std::string& owner = "untagged") {
+    const std::uint64_t handlers = std::min<std::uint64_t>(1, handlers_used_);
+    const std::uint64_t bytes = std::min(size, bytes_used_);
+    handlers_used_ -= handlers;
+    bytes_used_ -= bytes;
+    audit::release(audit::Resource::kRdmaHandlers, owner, handlers);
+    audit::release(audit::Resource::kRdmaBytes, owner, bytes);
   }
 
   std::uint64_t bytes_used() const { return bytes_used_; }
@@ -80,7 +90,7 @@ class SocketPool {
  public:
   explicit SocketPool(int capacity) : capacity_(capacity) {}
 
-  Status open() {
+  Status open(const std::string& owner = "untagged") {
     if (used_ >= capacity_) {
       return make_error(ErrorCode::kOutOfSockets,
                         "socket descriptors depleted (" +
@@ -88,10 +98,16 @@ class SocketPool {
     }
     ++used_;
     peak_ = std::max(peak_, used_);
+    audit::acquire(audit::Resource::kSockets, owner, 1);
     return Status::ok();
   }
 
-  void close() { used_ -= std::min(1, used_); }
+  void close(const std::string& owner = "untagged") {
+    const int n = std::min(1, used_);
+    used_ -= n;
+    audit::release(audit::Resource::kSockets, owner,
+                   static_cast<std::uint64_t>(n));
+  }
 
   int used() const { return used_; }
   int capacity() const { return capacity_; }

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/status.h"
 #include "sim/engine.h"
 
@@ -93,6 +94,7 @@ class ProcessMemory {
     by_tag_[static_cast<int>(tag)] += bytes;
     total_ += bytes;
     peak_ = std::max(peak_, total_);
+    audit::acquire(audit::Resource::kProcessBytes, audit_owner(tag), bytes);
     record();
     return Status::ok();
   }
@@ -103,6 +105,7 @@ class ProcessMemory {
     slot -= bytes;
     total_ -= bytes;
     if (node_ != nullptr) node_->release(bytes);
+    audit::release(audit::Resource::kProcessBytes, audit_owner(tag), bytes);
     record();
   }
 
@@ -122,6 +125,15 @@ class ProcessMemory {
   }
 
  private:
+  std::string audit_owner(Tag tag) const {
+#if IMC_CHECK_ENABLED
+    return name_ + "/" + std::string(to_string(tag));
+#else
+    (void)tag;
+    return {};
+#endif
+  }
+
   void record() {
     for (int i = 0; i < kTagCount; ++i) {
       peak_by_tag_[i] = std::max(peak_by_tag_[i], by_tag_[i]);

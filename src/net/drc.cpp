@@ -1,6 +1,13 @@
 #include "net/drc.h"
 
+#include "common/audit.h"
+
 namespace imc::net {
+namespace {
+
+std::string drc_owner(int pid) { return "pid-" + std::to_string(pid); }
+
+}  // namespace
 
 sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
   if (credentialed_.contains(pid)) co_return Status::ok();
@@ -53,6 +60,7 @@ sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
 
   --outstanding_;
   credentialed_.insert(pid);
+  audit::acquire(audit::Resource::kDrcCredential, drc_owner(pid));
   jobs_on_node_[node_id].insert(job);
   ++granted_;
   in_flight_.erase(pid);
@@ -60,6 +68,10 @@ sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
   co_return Status::ok();
 }
 
-void DrcService::release(int pid) { credentialed_.erase(pid); }
+void DrcService::release(int pid) {
+  if (credentialed_.erase(pid) > 0) {
+    audit::release(audit::Resource::kDrcCredential, drc_owner(pid));
+  }
+}
 
 }  // namespace imc::net

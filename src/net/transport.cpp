@@ -25,6 +25,21 @@ std::pair<int, int> pair_key(const Endpoint& a, const Endpoint& b) {
   return {std::min(a.pid, b.pid), std::max(a.pid, b.pid)};
 }
 
+// Audit owner tags. Transient registrations pair up within one transfer, so
+// a shared tag suffices; sockets are tagged by connection/pool key so a
+// leaked descriptor names the culprit pair.
+const std::string kTransient = "rdma-transient";
+
+std::string conn_owner(std::pair<int, int> key) {
+  return "conn:" + std::to_string(key.first) + "-" +
+         std::to_string(key.second);
+}
+
+std::string pool_owner(std::pair<int, int> key) {
+  return "pool:" + std::to_string(key.first) + "-" +
+         std::to_string(key.second);
+}
+
 }  // namespace
 
 std::string_view to_string(TransportKind kind) {
@@ -69,14 +84,16 @@ sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
   const std::uint64_t reg_bytes = std::min(bytes, kRdmaFragmentBytes);
   bool src_registered = false;
   if (!opts.src_pinned) {
-    if (Status s = from.node->rdma().register_memory(reg_bytes); !s.is_ok()) {
+    if (Status s = from.node->rdma().register_memory(reg_bytes, kTransient);
+        !s.is_ok()) {
       co_return s;
     }
     src_registered = true;
   }
   if (!opts.dst_pinned) {
-    if (Status s = to.node->rdma().register_memory(reg_bytes); !s.is_ok()) {
-      if (src_registered) from.node->rdma().deregister(reg_bytes);
+    if (Status s = to.node->rdma().register_memory(reg_bytes, kTransient);
+        !s.is_ok()) {
+      if (src_registered) from.node->rdma().deregister(reg_bytes, kTransient);
       co_return s;
     }
   }
@@ -90,9 +107,13 @@ sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
     co_await fabric_->transfer(*from.node, *to.node, bytes);
   }
 
-  if (src_registered) from.node->rdma().deregister(reg_bytes);
-  if (!opts.dst_pinned) to.node->rdma().deregister(reg_bytes);
+  if (src_registered) from.node->rdma().deregister(reg_bytes, kTransient);
+  if (!opts.dst_pinned) to.node->rdma().deregister(reg_bytes, kTransient);
   co_return Status::ok();
+}
+
+void RdmaTransport::disconnect_all(const Endpoint& e) {
+  if (drc_ != nullptr) drc_->release(e.pid);
 }
 
 // ------------------------------------------------------------- Sockets ----
@@ -107,15 +128,18 @@ sim::Task<Status> SocketTransport::connect(const Endpoint& a,
                                            const Endpoint& b) {
   if (pool_.enabled) {
     auto [it, inserted] = pools_.try_emplace(node_key(a, b));
+    it->second.users.insert(a.pid);
+    it->second.users.insert(b.pid);
     if (!inserted) co_return Status::ok();  // reuse the node pair's pool
     Pool& pool = it->second;
     pool.a_node = a.node;
     pool.b_node = b.node;
+    const std::string owner = pool_owner(it->first);
     // The pool's streams are the only descriptors this node pair uses.
     for (int s = 0; s < pool_.streams_per_node_pair; ++s) {
-      if (Status st = a.node->sockets().open(); !st.is_ok()) break;
-      if (Status st = b.node->sockets().open(); !st.is_ok()) {
-        a.node->sockets().close();
+      if (Status st = a.node->sockets().open(owner); !st.is_ok()) break;
+      if (Status st = b.node->sockets().open(owner); !st.is_ok()) {
+        a.node->sockets().close(owner);
         break;
       }
       ++pool.streams;
@@ -135,9 +159,10 @@ sim::Task<Status> SocketTransport::connect(const Endpoint& a,
   if (connections_.contains(key)) co_return Status::ok();
 
   // One descriptor on each endpoint's node.
-  if (Status s = a.node->sockets().open(); !s.is_ok()) co_return s;
-  if (Status s = b.node->sockets().open(); !s.is_ok()) {
-    a.node->sockets().close();
+  const std::string owner = conn_owner(key);
+  if (Status s = a.node->sockets().open(owner); !s.is_ok()) co_return s;
+  if (Status s = b.node->sockets().open(owner); !s.is_ok()) {
+    a.node->sockets().close(owner);
     co_return s;
   }
   connections_.emplace(key, Conn{a.node, b.node});
@@ -182,10 +207,25 @@ sim::Task<Status> SocketTransport::transfer(const Endpoint& from,
 }
 
 void SocketTransport::disconnect_all(const Endpoint& e) {
+  for (auto it = pools_.begin(); it != pools_.end();) {
+    Pool& pool = it->second;
+    pool.users.erase(e.pid);
+    if (pool.users.empty()) {
+      const std::string owner = pool_owner(it->first);
+      for (int s = 0; s < pool.streams; ++s) {
+        pool.a_node->sockets().close(owner);
+        pool.b_node->sockets().close(owner);
+      }
+      it = pools_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (it->first.first == e.pid || it->first.second == e.pid) {
-      it->second.a_node->sockets().close();
-      it->second.b_node->sockets().close();
+      const std::string owner = conn_owner(it->first);
+      it->second.a_node->sockets().close(owner);
+      it->second.b_node->sockets().close(owner);
       it = connections_.erase(it);
     } else {
       ++it;

@@ -88,6 +88,9 @@ class RdmaTransport final : public Transport {
   sim::Task<Status> transfer(const Endpoint& from, const Endpoint& to,
                              std::uint64_t bytes,
                              TransferOptions opts) override;
+  // Releases the endpoint's DRC credential (credentials are per-pid; the
+  // paper's DRC service otherwise accumulates them for the job's lifetime).
+  void disconnect_all(const Endpoint& e) override;
 
  private:
   sim::Engine* engine_;
@@ -137,6 +140,9 @@ class SocketTransport final : public Transport {
     hpc::Node* b_node;
     int streams = 0;
     std::unique_ptr<sim::Semaphore> slots;
+    // Endpoints multiplexed over this pool; the last one to disconnect
+    // closes the pool's descriptors.
+    std::set<int> users;
   };
 
   static std::pair<int, int> node_key(const Endpoint& a, const Endpoint& b);

@@ -1,7 +1,12 @@
 #include "sim/engine.h"
 
+#include <bit>
 #include <cassert>
+#include <cmath>
 #include <exception>
+
+#include "common/check.h"
+#include "common/rng.h"
 
 namespace imc::sim {
 namespace {
@@ -48,6 +53,18 @@ RootTask make_root(Task<> task) { co_await std::move(task); }
 
 }  // namespace
 
+std::string_view to_string(TieBreak tie_break) {
+  switch (tie_break) {
+    case TieBreak::kFifo:
+      return "fifo";
+    case TieBreak::kLifo:
+      return "lifo";
+    case TieBreak::kSeededShuffle:
+      return "seeded-shuffle";
+  }
+  return "unknown";
+}
+
 void Engine::on_root_done(std::coroutine_handle<> root) {
   auto it = roots_.find(root.address());
   assert(it != roots_.end());
@@ -70,9 +87,38 @@ void Engine::reap_processes() {
   }
 }
 
+SimTime Engine::sanitize_dt(SimTime dt) {
+  if (std::isfinite(dt) && dt >= 0) return dt;
+#if IMC_CHECK_ENABLED
+  record_failure(std::isnan(dt)   ? "sleep: dt is NaN, clamped to 0"
+                 : dt < 0         ? "sleep: negative dt, clamped to 0"
+                                  : "sleep: non-finite dt, clamped to 0");
+#endif
+  return 0;
+}
+
+std::uint64_t Engine::tie_break_key(std::uint64_t seq) const {
+  switch (schedule_.tie_break) {
+    case TieBreak::kFifo:
+      return seq;
+    case TieBreak::kLifo:
+      return ~seq;
+    case TieBreak::kSeededShuffle:
+      return splitmix64(schedule_.seed ^ seq);
+  }
+  return seq;
+}
+
 void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, h});
+  // !(t >= now_) also catches NaN, which would poison the heap ordering.
+  if (!std::isfinite(t) || !(t >= now_)) {
+#if IMC_CHECK_ENABLED
+    record_failure("schedule_at: non-finite or past time, clamped to now()");
+#endif
+    t = now_;
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, tie_break_key(seq), seq, h});
 }
 
 void Engine::spawn(Task<> task) {
@@ -80,6 +126,15 @@ void Engine::spawn(Task<> task) {
   root.handle.promise().engine = this;
   roots_.emplace(root.handle.address(), root.handle);
   schedule_now(root.handle);
+}
+
+void Engine::note_event(const Event& ev) {
+  ++events_processed_;
+  digest_ = splitmix64(digest_ ^ std::bit_cast<std::uint64_t>(ev.time));
+  digest_ = splitmix64(digest_ ^ ev.seq);
+  if (trace_.size() < trace_limit_) {
+    trace_.push_back(TraceEntry{ev.time, ev.seq});
+  }
 }
 
 std::size_t Engine::run() { return run_until(-1); }
@@ -92,6 +147,7 @@ std::size_t Engine::run_until(SimTime deadline) {
     queue_.pop();
     now_ = ev.time;
     ++processed;
+    note_event(ev);
     ev.handle.resume();
   }
   return processed;

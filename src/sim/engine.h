@@ -2,8 +2,14 @@
 //
 // The engine owns virtual time and a min-heap of (time, sequence) ->
 // coroutine handle events. All simulated concurrency is cooperative and
-// single-threaded, so runs are fully deterministic: two processes scheduled
-// for the same instant resume in the order they were scheduled.
+// single-threaded, so runs are fully deterministic: under the default FIFO
+// schedule two processes scheduled for the same instant resume in the order
+// they were scheduled.
+//
+// Same-instant tie-breaking is pluggable (FIFO / LIFO / seeded shuffle).
+// Correct components must produce the same observable results under every
+// policy; check::run_deterministic() exploits this as a DES race detector —
+// see DESIGN.md, "Correctness tooling".
 #pragma once
 
 #include <coroutine>
@@ -11,6 +17,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -20,21 +27,40 @@ namespace imc::sim {
 
 using SimTime = double;  // seconds of virtual time
 
+// Order in which events scheduled for the same instant resume.
+enum class TieBreak : int {
+  kFifo = 0,       // scheduling order (the historical behaviour)
+  kLifo,           // reverse scheduling order
+  kSeededShuffle,  // pseudo-random order derived from a seed
+};
+
+std::string_view to_string(TieBreak tie_break);
+
+struct Schedule {
+  TieBreak tie_break = TieBreak::kFifo;
+  std::uint64_t seed = 0;  // only used by kSeededShuffle
+};
+
 class Engine {
  public:
   Engine() = default;
+  explicit Engine(Schedule schedule) : schedule_(schedule) {}
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
+  const Schedule& schedule() const { return schedule_; }
 
   // Schedules a raw coroutine handle. Used by awaitables; most code should
-  // use sleep()/spawn() instead.
+  // use sleep()/spawn() instead. Non-finite or past times are clamped to
+  // now() and recorded as a process failure (a NaN would otherwise poison
+  // the priority-queue ordering).
   void schedule_at(SimTime t, std::coroutine_handle<> h);
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
-  // co_await engine.sleep(dt): resume dt simulated seconds later.
+  // co_await engine.sleep(dt): resume dt simulated seconds later. NaN,
+  // infinite, or negative dt clamps to 0 and records a process failure.
   [[nodiscard]] auto sleep(SimTime dt) {
     struct Awaiter {
       Engine* engine;
@@ -45,7 +71,7 @@ class Engine {
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this, now_ + (dt > 0 ? dt : 0)};
+    return Awaiter{this, now_ + sanitize_dt(dt)};
   }
 
   // co_await engine.yield(): requeue at the current instant, letting other
@@ -63,6 +89,10 @@ class Engine {
   std::size_t run();
 
   // Runs until the event queue drains or virtual time would exceed deadline.
+  // The deadline is inclusive: events at exactly `deadline` still fire, and
+  // now() afterwards is the time of the last processed event (the engine
+  // never advances time past real events). A negative deadline means "no
+  // deadline" (identical to run()).
   std::size_t run_until(SimTime deadline);
 
   // Destroys all still-parked processes now. Call before tearing down
@@ -81,19 +111,50 @@ class Engine {
     failures_.push_back(std::move(what));
   }
 
+  // Rolling hash over the (time, seq) stream of every event popped so far.
+  // Two runs of the same program under the same Schedule must produce the
+  // same digest; a mismatch means hidden nondeterminism (wall clock, global
+  // RNG, address-dependent iteration, ...).
+  std::uint64_t digest() const { return digest_; }
+  std::size_t events_processed() const { return events_processed_; }
+
+  struct TraceEntry {
+    SimTime time;
+    std::uint64_t seq;
+    bool operator==(const TraceEntry&) const = default;
+  };
+
+  // Enables recording of the first `limit` popped events, so a digest
+  // mismatch can be pinned to the first diverging event.
+  void record_trace(std::size_t limit) {
+    trace_limit_ = limit;
+    trace_.clear();
+    trace_.reserve(limit < 4096 ? limit : 4096);
+  }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
   // Internal: called by the detached-process wrapper at final suspend.
   void on_root_done(std::coroutine_handle<> root);
 
  private:
   struct Event {
     SimTime time;
+    std::uint64_t key;  // tie-break rank within the same instant
     std::uint64_t seq;
     std::coroutine_handle<> handle;
     bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : seq > other.seq;
+      if (time != other.time) return time > other.time;
+      if (key != other.key) return key > other.key;
+      return seq > other.seq;
     }
   };
 
+  // Maps dt onto a safe, non-negative finite value (see sleep()).
+  SimTime sanitize_dt(SimTime dt);
+  std::uint64_t tie_break_key(std::uint64_t seq) const;
+  void note_event(const Event& ev);
+
+  Schedule schedule_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
@@ -101,6 +162,10 @@ class Engine {
   // from_address). Needed so ~Engine can reclaim parked processes.
   std::unordered_map<void*, std::coroutine_handle<>> roots_;
   std::vector<std::string> failures_;
+  std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // arbitrary non-zero start
+  std::size_t events_processed_ = 0;
+  std::size_t trace_limit_ = 0;
+  std::vector<TraceEntry> trace_;
 };
 
 }  // namespace imc::sim

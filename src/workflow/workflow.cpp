@@ -4,6 +4,9 @@
 #include <cassert>
 #include <memory>
 
+#include "common/audit.h"
+#include "common/rng.h"
+
 #include "adios/adios.h"
 #include "apps/analysis.h"
 #include "apps/apps.h"
@@ -196,7 +199,8 @@ nda::Box reader_box(const Spec& spec, int a) {
 // Everything one run needs, owned for the run's duration.
 struct Ctx {
   explicit Ctx(const Spec& s)
-      : spec(s), cluster(s.machine), fabric(engine, s.machine) {}
+      : spec(s), engine(s.schedule), cluster(s.machine),
+        fabric(engine, s.machine) {}
 
   const Spec& spec;
   sim::Engine engine;
@@ -281,9 +285,12 @@ sim::Task<> sim_rank(Ctx& ctx, int r) {
   mem::ProcessMemory& memory = *ctx.sim_mem[static_cast<std::size_t>(r)];
   WriterApp app = make_writer(spec, r, ctx.run_kernel);
 
-  if (Status st = memory.allocate(mem::Tag::kCalculation, app.state_bytes());
-      !st.is_ok()) {
-    ctx.fail("sim rank " + std::to_string(r) + ": " + st.to_string());
+  Status state_status;
+  mem::ScopedAlloc state(memory, mem::Tag::kCalculation, app.state_bytes(),
+                         &state_status);
+  if (!state_status.is_ok()) {
+    ctx.fail("sim rank " + std::to_string(r) + ": " +
+             state_status.to_string());
     co_return;
   }
 
@@ -444,9 +451,12 @@ sim::Task<> ana_rank(Ctx& ctx, int a) {
   const std::uint64_t box_bytes = my_box.volume() * nda::kElementBytes;
 
   // Analysis state: the fetched slab plus (for MSD) the reference step.
-  if (Status st = memory.allocate(mem::Tag::kCalculation, 2 * box_bytes);
-      !st.is_ok()) {
-    ctx.fail("analytics rank " + std::to_string(a) + ": " + st.to_string());
+  Status state_status;
+  mem::ScopedAlloc state(memory, mem::Tag::kCalculation, 2 * box_bytes,
+                         &state_status);
+  if (!state_status.is_ok()) {
+    ctx.fail("analytics rank " + std::to_string(a) + ": " +
+             state_status.to_string());
     co_return;
   }
 
@@ -568,8 +578,13 @@ sim::Task<> ana_rank(Ctx& ctx, int a) {
     }
   }
 
-  if (io) io->finalize();
-  if (!via_adios(spec.method) && ds_client) ds_client->finalize();
+  if (io) {
+    io->finalize();
+  } else if (ds_client) {
+    ds_client->finalize();
+  } else if (dimes_client) {
+    dimes_client->finalize();
+  }
   ctx.ana_done[static_cast<std::size_t>(a)] = ctx.engine.now();
   if (++ctx.ana_finished_count == spec.nana) ctx.ana_finished->set();
 }
@@ -582,17 +597,21 @@ sim::Task<> decaf_producer(Ctx& ctx, int r) {
   const Spec& spec = ctx.spec;
   mem::ProcessMemory& memory = *ctx.sim_mem[static_cast<std::size_t>(r)];
   WriterApp app = make_writer(spec, r, ctx.run_kernel);
-  if (Status st = memory.allocate(mem::Tag::kCalculation, app.state_bytes());
-      !st.is_ok()) {
-    ctx.fail("decaf producer " + std::to_string(r) + ": " + st.to_string());
+  Status st_alloc;
+  mem::ScopedAlloc state(memory, mem::Tag::kCalculation, app.state_bytes(),
+                         &st_alloc);
+  if (!st_alloc.is_ok()) {
+    ctx.fail("decaf producer " + std::to_string(r) + ": " +
+             st_alloc.to_string());
     co_return;
   }
   // The Decaf/Bredala client library pool (Fig. 5d: ~40% above the other
   // libraries' clients).
-  if (Status st = memory.allocate(mem::Tag::kLibrary,
-                                  ctx.dflow->config().client_base_bytes);
-      !st.is_ok()) {
-    ctx.fail("decaf producer " + std::to_string(r) + ": " + st.to_string());
+  mem::ScopedAlloc base(memory, mem::Tag::kLibrary,
+                        ctx.dflow->config().client_base_bytes, &st_alloc);
+  if (!st_alloc.is_ok()) {
+    ctx.fail("decaf producer " + std::to_string(r) + ": " +
+             st_alloc.to_string());
     co_return;
   }
   auto& staging_s = ctx.sim_staging[static_cast<std::size_t>(r)];
@@ -631,15 +650,19 @@ sim::Task<> decaf_consumer(Ctx& ctx, int a) {
   const nda::Box my_box = reader_box(spec, a);
   const std::uint64_t box_bytes = my_box.volume() * nda::kElementBytes;
   mem::ProcessMemory& memory = *ctx.ana_mem[static_cast<std::size_t>(a)];
-  if (Status st = memory.allocate(mem::Tag::kCalculation, 2 * box_bytes);
-      !st.is_ok()) {
-    ctx.fail("decaf consumer " + std::to_string(a) + ": " + st.to_string());
+  Status st_alloc;
+  mem::ScopedAlloc state(memory, mem::Tag::kCalculation, 2 * box_bytes,
+                         &st_alloc);
+  if (!st_alloc.is_ok()) {
+    ctx.fail("decaf consumer " + std::to_string(a) + ": " +
+             st_alloc.to_string());
     co_return;
   }
-  if (Status st = memory.allocate(mem::Tag::kLibrary,
-                                  ctx.dflow->config().client_base_bytes);
-      !st.is_ok()) {
-    ctx.fail("decaf consumer " + std::to_string(a) + ": " + st.to_string());
+  mem::ScopedAlloc base(memory, mem::Tag::kLibrary,
+                        ctx.dflow->config().client_base_bytes, &st_alloc);
+  if (!st_alloc.is_ok()) {
+    ctx.fail("decaf consumer " + std::to_string(a) + ": " +
+             st_alloc.to_string());
     co_return;
   }
   auto& staging_s = ctx.ana_staging[static_cast<std::size_t>(a)];
@@ -679,8 +702,12 @@ sim::Task<> decaf_consumer(Ctx& ctx, int a) {
 // ---------------------------------------------------------------------------
 
 RunResult run(const Spec& spec) {
+  // Each run starts with a clean resource ledger; whatever is outstanding
+  // after full teardown below is a leak (RunResult::leaks).
+  audit::global().reset();
   RunResult result;
   Ctx ctx(spec);
+  if (spec.record_schedule_trace) ctx.engine.record_trace(1u << 18);
   ctx.run_kernel = spec.nsim <= 64;
   ctx.sim_finished = std::make_unique<sim::Event>(ctx.engine);
   ctx.ana_finished = std::make_unique<sim::Event>(ctx.engine);
@@ -988,8 +1015,25 @@ RunResult run(const Spec& spec) {
   if (ctx.dimes) ctx.dimes->shutdown();
   ctx.engine.run();  // drain the server shutdowns
   // Destroy any processes still parked on a failure path before the Ctx
-  // members they reference go away.
+  // members they reference go away. Frame unwinding releases their RAII
+  // resources, so this must run before the leak ledger is read.
   ctx.engine.reap_processes();
+
+  // Correctness tooling: the event-stream digest folded with the
+  // per-library activity counters, and the auditor's leak report.
+  std::uint64_t digest = ctx.engine.digest();
+  digest = splitmix64(digest ^ ctx.fabric.transfers_started());
+  digest = splitmix64(
+      digest ^ static_cast<std::uint64_t>(ctx.fabric.bytes_transferred()));
+  if (ctx.transport) {
+    digest = splitmix64(digest ^ ctx.transport->transfer_count());
+  }
+  result.run_digest = digest;
+  result.events_processed = ctx.engine.events_processed();
+  result.transfers = ctx.fabric.transfers_started();
+  result.bytes_moved = ctx.fabric.bytes_transferred();
+  if (spec.record_schedule_trace) result.schedule_trace = ctx.engine.trace();
+  result.leaks = audit::global().leaks();
   return result;
 }
 

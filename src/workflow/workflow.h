@@ -18,6 +18,7 @@
 #include "hpc/machine.h"
 #include "mem/memory.h"
 #include "net/transport.h"
+#include "sim/engine.h"
 
 namespace imc::workflow {
 
@@ -90,6 +91,13 @@ struct Spec {
 
   // Record memory timelines of representative processes (Fig. 5).
   bool capture_timelines = false;
+
+  // Same-instant event ordering. Correct components must produce the same
+  // results under every policy; check::run_deterministic() sweeps these.
+  sim::Schedule schedule;
+  // Record the engine's (time, seq) pop trace into RunResult (bounded; used
+  // by the determinism harness to pinpoint divergences).
+  bool record_schedule_trace = false;
 };
 
 struct RunResult {
@@ -126,6 +134,14 @@ struct RunResult {
   int servers_used = 0;
   double sample_analysis_value = 0;  // MSD / second moment, when computed
   double gpu_copy_time = 0;          // avg per sim rank (gpu-resident runs)
+
+  // Correctness tooling (see DESIGN.md, "Correctness tooling").
+  std::uint64_t run_digest = 0;       // engine event-stream hash + counters
+  std::size_t events_processed = 0;   // engine events popped
+  std::uint64_t transfers = 0;        // fabric transfers started
+  double bytes_moved = 0;             // fabric bytes moved
+  std::vector<std::string> leaks;     // auditor report after full teardown
+  std::vector<sim::Engine::TraceEntry> schedule_trace;  // when requested
 
   // One-line verdict for tables.
   std::string failure_summary() const;

@@ -55,6 +55,28 @@ TEST(Result, MoveOnlyValue) {
   EXPECT_EQ(*p, 7);
 }
 
+TEST(Result, ValueOrMovesFromRvalueResult) {
+  // The && overload must move the stored value, not copy it — this compiles
+  // only if no copy is forced (unique_ptr is move-only).
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(11);
+  std::unique_ptr<int> p = std::move(r).value_or(nullptr);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, 11);
+
+  Result<std::unique_ptr<int>> err = make_error(ErrorCode::kNotFound, "gone");
+  std::unique_ptr<int> q = std::move(err).value_or(std::make_unique<int>(3));
+  ASSERT_TRUE(q);
+  EXPECT_EQ(*q, 3);
+}
+
+TEST(Result, ValueOrConvertsFallbackWithoutTemporaryValue) {
+  // The fallback is forwarded and converted, not materialised as T first.
+  Result<std::string> r = make_error(ErrorCode::kTimeout, "late");
+  EXPECT_EQ(r.value_or("fallback"), "fallback");
+  Result<std::string> ok = std::string("kept");
+  EXPECT_EQ(ok.value_or("fallback"), "kept");
+}
+
 TEST(Units, Constants) {
   EXPECT_EQ(kMiB, 1048576ull);
   EXPECT_EQ(kGiB, 1073741824ull);
