@@ -6,6 +6,7 @@
 #include "common/hilbert.h"
 #include "dataspaces/dataspaces.h"
 #include "hpc/cluster.h"
+#include "ndarray/index.h"
 #include "ndarray/ndarray.h"
 #include "net/fabric.h"
 #include "net/transport.h"
@@ -49,6 +50,147 @@ void BM_MailboxRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_MailboxRoundTrip);
+
+// Same-instant scheduling churn: a few processes yield()-storming while a
+// large population of far-future sleepers keeps the event heap deep. The
+// ready-batch fast path services the yields without touching the heap; the
+// parked sleepers are reaped unprocessed when the engine is destroyed.
+void BM_EngineSameInstantChurn(benchmark::State& state) {
+  const int yields = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1024; ++i) {
+      engine.spawn([](sim::Engine& e) -> sim::Task<> {
+        co_await e.sleep(1e9);
+      }(engine));
+    }
+    for (int p = 0; p < 4; ++p) {
+      engine.spawn([](sim::Engine& e, int n) -> sim::Task<> {
+        for (int i = 0; i < n; ++i) co_await e.yield();
+      }(engine, yields));
+    }
+    const std::size_t events = engine.run_until(1.0);
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * yields);
+}
+BENCHMARK(BM_EngineSameInstantChurn)->Arg(4096);
+
+// Box-query pair: the staged-object lookup over a 16x16x16 decomposition of
+// a 256^3 domain (4096 objects), querying a 40^3 sub-box (27 hits). Scan is
+// the pre-index baseline (nda::intersecting); Index is the Hilbert-bucketed
+// grid the staging servers now use.
+const nda::Dims kQueryGlobal = {256, 256, 256};
+const nda::Box kQueryTarget({100, 100, 100}, {140, 140, 140});
+
+void BM_BoxQueryScan(benchmark::State& state) {
+  const auto boxes = nda::decompose_grid(kQueryGlobal, {16, 16, 16});
+  for (auto _ : state) {
+    auto hits = nda::intersecting(boxes, kQueryTarget);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoxQueryScan);
+
+void BM_BoxQueryIndex(benchmark::State& state) {
+  const auto boxes = nda::decompose_grid(kQueryGlobal, {16, 16, 16});
+  const nda::BoxIndex index = nda::BoxIndex::build(boxes);
+  benchmark::DoNotOptimize(index.query(kQueryTarget).data());  // warm build
+  for (auto _ : state) {
+    auto hits = index.query(kQueryTarget);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoxQueryIndex);
+
+// Slab-copy pair over an n^3 overlap into a larger target. Naive is the
+// pre-optimization per-coordinate odometer through the public element API;
+// Strided is fill_from's row-run kernel.
+void BM_SlabCopyNaive(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const nda::Box src_box({16, 16, 16}, {16 + n, 16 + n, 16 + n});
+  nda::Slab src = nda::Slab::zeros(src_box);
+  nda::Slab dst = nda::Slab::zeros(nda::Box({0, 0, 0}, {n + 32, n + 32, n + 32}));
+  for (auto _ : state) {
+    nda::Dims coord = src_box.lb;
+    for (;;) {
+      dst.set(coord, src.at(coord));
+      std::size_t d = coord.size();
+      bool done = true;
+      while (d-- > 0) {
+        if (++coord[d] < src_box.ub[d]) {
+          done = false;
+          break;
+        }
+        coord[d] = src_box.lb[d];
+      }
+      if (done) break;
+    }
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src_box.volume() * 8));
+}
+BENCHMARK(BM_SlabCopyNaive)->Arg(64);
+
+void BM_SlabCopyStrided(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const nda::Box src_box({16, 16, 16}, {16 + n, 16 + n, 16 + n});
+  nda::Slab src = nda::Slab::zeros(src_box);
+  nda::Slab dst = nda::Slab::zeros(nda::Box({0, 0, 0}, {n + 32, n + 32, n + 32}));
+  for (auto _ : state) {
+    dst.fill_from(src);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src_box.volume() * 8));
+}
+BENCHMARK(BM_SlabCopyStrided)->Arg(64);
+
+// Synthetic-source fill: the same overlap materialized from the pure
+// content function (per-row hash prefix vs per-element full chain).
+void BM_SlabFillSyntheticNaive(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const nda::Box src_box({16, 16, 16}, {16 + n, 16 + n, 16 + n});
+  nda::Slab src = nda::Slab::synthetic(src_box, 42);
+  nda::Slab dst = nda::Slab::zeros(nda::Box({0, 0, 0}, {n + 32, n + 32, n + 32}));
+  for (auto _ : state) {
+    nda::Dims coord = src_box.lb;
+    for (;;) {
+      dst.set(coord, src.at(coord));
+      std::size_t d = coord.size();
+      bool done = true;
+      while (d-- > 0) {
+        if (++coord[d] < src_box.ub[d]) {
+          done = false;
+          break;
+        }
+        coord[d] = src_box.lb[d];
+      }
+      if (done) break;
+    }
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src_box.volume() * 8));
+}
+BENCHMARK(BM_SlabFillSyntheticNaive)->Arg(64);
+
+void BM_SlabFillSyntheticStrided(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const nda::Box src_box({16, 16, 16}, {16 + n, 16 + n, 16 + n});
+  nda::Slab src = nda::Slab::synthetic(src_box, 42);
+  nda::Slab dst = nda::Slab::zeros(nda::Box({0, 0, 0}, {n + 32, n + 32, n + 32}));
+  for (auto _ : state) {
+    dst.fill_from(src);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src_box.volume() * 8));
+}
+BENCHMARK(BM_SlabFillSyntheticStrided)->Arg(64);
 
 void BM_HilbertDistance(benchmark::State& state) {
   std::vector<std::uint32_t> point = {12345, 6789};

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Benchmark-regression baseline runner.
+
+Builds the benches in Release mode, runs the microbenchmarks
+(google-benchmark JSON) plus the fig/tab scenario benches, and writes a
+machine-readable summary so later changes can be diffed against a committed
+baseline (BENCH_perf.json at the repo root).
+
+Per-scenario records hold the wall-clock seconds and a sha256 over stdout:
+the scenario output is fully deterministic (virtual times, bytes, modeled
+metrics), so the hash doubles as a fingerprint of the simulated results —
+a perf-only change must keep every stdout_sha256 stable while moving only
+wall_seconds.
+
+Modes:
+  full (default)   all benches; writes BENCH_perf.json at the repo root
+  --smoke          CI gate: hot-path microbenches + two fast scenarios,
+                   asserts everything runs and emits valid JSON; writes
+                   into the build directory only
+
+Usage: scripts/bench.py [--smoke] [--build-dir DIR] [--out FILE]
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SCENARIOS = [
+    "bench_fig2_end_to_end",
+    "bench_fig3_problem_size",
+    "bench_fig4_rdma_limits",
+    "bench_fig5_memory_timeline",
+    "bench_fig6_index_cost",
+    "bench_fig7_memory_breakdown",
+    "bench_fig8_data_layout",
+    "bench_fig9_layout_impact",
+    "bench_fig10_transport",
+    "bench_fig11_decaf_servers",
+    "bench_fig12_ds_servers",
+    "bench_fig13_shared_memory",
+    "bench_tab1_configurations",
+    "bench_tab3_usability",
+    "bench_tab4_robustness",
+    "bench_tab5_findings",
+    "bench_ablation",
+    "bench_ext_gpu",
+]
+SMOKE_SCENARIOS = ["bench_tab1_configurations", "bench_fig6_index_cost"]
+
+MICRO_FILTER = ("BM_BoxQuery|BM_SlabCopy|BM_SlabFillSynthetic|"
+                "BM_EngineSameInstantChurn|BM_EngineEventThroughput")
+
+# (derived key, numerator bench, denominator bench): speedup = num / den.
+SPEEDUPS = [
+    ("box_query_speedup", "BM_BoxQueryScan", "BM_BoxQueryIndex"),
+    ("slab_copy_speedup", "BM_SlabCopyNaive/64", "BM_SlabCopyStrided/64"),
+    ("slab_fill_synthetic_speedup", "BM_SlabFillSyntheticNaive/64",
+     "BM_SlabFillSyntheticStrided/64"),
+]
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=True, **kwargs)
+
+
+def configure_and_build(build_dir, targets, jobs):
+    configure = [
+        "cmake", "-B", build_dir, "-S", REPO,
+        "-DCMAKE_BUILD_TYPE=Release", "-DIMC_CHECK=OFF",
+    ]
+    generator = os.environ.get("CMAKE_GENERATOR")
+    if generator:
+        configure += ["-G", generator]
+    run(configure, stdout=subprocess.DEVNULL)
+    run(["cmake", "--build", build_dir, "-j", str(jobs), "--target"] + targets)
+
+
+def run_micro(build_dir, smoke, timeout):
+    cmd = [os.path.join(build_dir, "bench", "bench_micro"),
+           "--benchmark_format=json"]
+    if smoke:
+        cmd.append("--benchmark_filter=" + MICRO_FILTER)
+        cmd.append("--benchmark_min_time=0.05")
+    out = run(cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+              timeout=timeout).stdout
+    report = json.loads(out)  # raises on malformed output: the smoke gate
+    micro = {}
+    for entry in report.get("benchmarks", []):
+        record = {"real_time_ns": entry["real_time"],
+                  "cpu_time_ns": entry["cpu_time"]}
+        for extra in ("items_per_second", "bytes_per_second"):
+            if extra in entry:
+                record[extra] = entry[extra]
+        micro[entry["name"]] = record
+    return micro
+
+
+def derive(micro):
+    derived = {}
+    for key, numerator, denominator in SPEEDUPS:
+        if numerator in micro and denominator in micro:
+            derived[key] = round(
+                micro[numerator]["real_time_ns"] /
+                micro[denominator]["real_time_ns"], 2)
+    throughput = micro.get("BM_EngineEventThroughput/100000")
+    if throughput and "items_per_second" in throughput:
+        derived["event_throughput_items_per_s"] = round(
+            throughput["items_per_second"])
+    churn = micro.get("BM_EngineSameInstantChurn/4096")
+    if churn and "items_per_second" in churn:
+        derived["same_instant_items_per_s"] = round(churn["items_per_second"])
+    return derived
+
+
+def run_scenarios(build_dir, names, timeout):
+    results = {}
+    for name in names:
+        path = os.path.join(build_dir, "bench", name)
+        start = time.monotonic()
+        proc = run([path], stdout=subprocess.PIPE,
+                   stderr=subprocess.DEVNULL, timeout=timeout)
+        elapsed = time.monotonic() - start
+        results[name] = {
+            "wall_seconds": round(elapsed, 3),
+            "stdout_sha256": hashlib.sha256(proc.stdout).hexdigest(),
+            "stdout_lines": proc.stdout.count(b"\n"),
+        }
+        print(f"  {name}: {elapsed:.2f}s, "
+              f"{results[name]['stdout_lines']} lines", flush=True)
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI gate: microbench subset + two scenarios")
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO, "build-bench"))
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_perf.json at "
+                             "the repo root, or the build dir for --smoke)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    scenarios = SMOKE_SCENARIOS if args.smoke else SCENARIOS
+    per_bench_timeout = 120 if args.smoke else 600
+    out_path = args.out or (
+        os.path.join(args.build_dir, "BENCH_smoke.json") if args.smoke
+        else os.path.join(REPO, "BENCH_perf.json"))
+
+    configure_and_build(args.build_dir, ["bench_micro"] + scenarios,
+                        args.jobs)
+    micro = run_micro(args.build_dir, args.smoke, per_bench_timeout)
+    derived = derive(micro)
+    scenario_results = run_scenarios(args.build_dir, scenarios,
+                                     per_bench_timeout)
+
+    report = {
+        "schema": "imc-bench-perf-v1",
+        "mode": "smoke" if args.smoke else "full",
+        "build_type": "Release",
+        "derived": derived,
+        "micro": micro,
+        "scenarios": scenario_results,
+    }
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if not micro:
+        print("FAIL: no microbenchmark results", file=sys.stderr)
+        return 1
+    if args.smoke:
+        missing = [k for k, _, _ in SPEEDUPS if k not in derived]
+        if missing:
+            print(f"FAIL: missing derived metrics: {missing}",
+                  file=sys.stderr)
+            return 1
+        # Round-trip the file to prove the artifact itself is valid JSON.
+        with open(out_path, encoding="utf-8") as f:
+            json.load(f)
+    for key, value in sorted(derived.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,4 +42,11 @@ else
   echo "==> clang-tidy not installed; skipping (gcc-only toolchain)"
 fi
 
+# Release-mode bench smoke: builds the benches without sanitizers, runs the
+# hot-path microbench subset plus two fast scenarios, and asserts the run
+# emits valid JSON with every derived speedup present. Time-bounded by the
+# reduced --benchmark_min_time and per-bench timeouts inside bench.py.
+echo "==> bench smoke (Release, scripts/bench.py --smoke)"
+python3 "$repo/scripts/bench.py" --smoke --build-dir "$repo/build-bench-smoke"
+
 echo "==> CI OK"

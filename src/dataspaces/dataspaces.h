@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -161,6 +162,9 @@ class DataSpaces {
   };
   struct VersionEntry {
     std::vector<StagedObject> objects;
+    // Spatial index over objects' boxes (ids are positions in `objects`),
+    // so a get resolves overlaps without scanning every staged object.
+    nda::BoxIndex index;
     std::uint64_t index_bytes = 0;
   };
 
@@ -200,10 +204,12 @@ class DataSpaces {
     net::Endpoint endpoint;
     std::unique_ptr<mem::ProcessMemory> memory;
     std::unique_ptr<sim::Queue<Request>> queue;
-    std::map<std::string, std::map<int, VersionEntry>> staged;
+    // Transparent comparators: hot-path lookups take string_view keys
+    // without materializing std::string temporaries.
+    std::map<std::string, std::map<int, VersionEntry>, std::less<>> staged;
     // Cube-model SFC bucket tables are per variable (one structure whose
     // entries are updated per version), charged on first contact.
-    std::map<std::string, std::uint64_t> index_charged;
+    std::map<std::string, std::uint64_t, std::less<>> index_charged;
     ServerStats stats;
   };
 
@@ -217,7 +223,7 @@ class DataSpaces {
   // Frees everything a server still holds (staged objects, index tables,
   // base pool, connections) when it exits its loop on Shutdown.
   void teardown_server(Server& server);
-  void evict_versions(Server& server, const std::string& var,
+  void evict_versions(Server& server, std::string_view var,
                       int newest_version);
   // One staging attempt: eviction, index charge, memory + registration.
   Status try_stage(Server& server, const PutPrep& req);
@@ -227,7 +233,7 @@ class DataSpaces {
   void handle_publish(Server& server, const Publish& req);
   sim::Task<> run_get(Server& server, GetReq req);
 
-  const std::vector<nda::Box>& regions_of(const nda::VarDesc& var);
+  const RegionSet& regions_of(const nda::VarDesc& var);
   bool transport_is_rdma() const {
     const auto k = transport_->kind();
     return k == net::TransportKind::kRdmaUgni ||
@@ -250,7 +256,8 @@ class DataSpaces {
   std::vector<std::unique_ptr<Server>> servers_;
   Board board_;
   LockService locks_;
-  std::map<std::string, std::vector<nda::Box>> region_cache_;
+  // Values point into staging_regions_cached's process-lifetime cache.
+  std::map<std::string, const RegionSet*, std::less<>> region_cache_;
   int next_pid_ = 900000;  // server pid space, distinct from rank pids
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 namespace imc::dataspaces {
 
@@ -24,6 +26,19 @@ std::vector<nda::Box> staging_regions(const nda::Dims& global,
                                       int num_servers) {
   return nda::decompose_1d(global, region_count(global, num_servers),
                            nda::longest_dim(global));
+}
+
+const RegionSet& staging_regions_cached(const nda::Dims& global,
+                                        int num_servers) {
+  // std::map keeps node addresses stable, so returned references survive
+  // later insertions. Simulations are single-threaded by construction.
+  static std::map<std::pair<nda::Dims, int>, RegionSet> cache;
+  auto [it, inserted] = cache.try_emplace({global, num_servers});
+  if (inserted) {
+    it->second.boxes = staging_regions(global, num_servers);
+    it->second.index = nda::BoxIndex::build(it->second.boxes);
+  }
+  return it->second;
 }
 
 int server_of_region(int region_index, int num_servers) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ndarray/index.h"
 #include "ndarray/ndarray.h"
 
 namespace imc::dataspaces {
@@ -36,6 +37,20 @@ int region_count(const nda::Dims& global, int num_servers);
 // The staging regions, in coordinate order along the longest dimension.
 std::vector<nda::Box> staging_regions(const nda::Dims& global,
                                       int num_servers);
+
+// A staging-region decomposition with a spatial index over its boxes.
+// `index.query(box)` returns the same (region index, overlap) pairs as
+// `nda::intersecting(boxes, box)`.
+struct RegionSet {
+  std::vector<nda::Box> boxes;
+  nda::BoxIndex index;
+};
+
+// Memoized staging_regions keyed on (global dims, server count). Every
+// variable with the same geometry shares one decomposition and one warm
+// index; the returned reference stays valid for the process lifetime.
+const RegionSet& staging_regions_cached(const nda::Dims& global,
+                                        int num_servers);
 
 // Sequential region -> server assignment.
 int server_of_region(int region_index, int num_servers);

@@ -73,9 +73,9 @@ sim::Task<> Dimes::server_loop(Server& server) {
       std::uint64_t entries = 0;
       for (const auto& [var, versions] : server.directory) {
         (void)var;
-        for (const auto& [version, descs] : versions) {
+        for (const auto& [version, entry] : versions) {
           (void)version;
-          entries += descs.size();
+          entries += entry.descs.size();
         }
       }
       server.memory->free(mem::Tag::kIndex,
@@ -93,17 +93,23 @@ sim::Task<> Dimes::server_loop(Server& server) {
         put->reply->push(st);
         continue;
       }
-      server.directory[put->var.name][put->var.version].push_back(
-          ObjectDesc{put->box, put->owner_pid});
+      VersionDescs& entry = server.directory[put->var.name][put->var.version];
+      entry.descs.push_back(ObjectDesc{put->box, put->owner_pid});
+      entry.index.insert(static_cast<int>(entry.descs.size()) - 1, put->box);
       ++server.stats.objects;
       put->reply->push(Status::ok());
     } else if (auto* query = std::get_if<QueryMeta>(&request)) {
       ++server.stats.queries;
       std::vector<ObjectDesc> hits;
-      auto vit = server.directory[query->var.name].find(query->var.version);
-      if (vit != server.directory[query->var.name].end()) {
-        for (const auto& desc : vit->second) {
-          if (nda::intersect(desc.box, query->box)) hits.push_back(desc);
+      if (auto dit = server.directory.find(query->var.name);
+          dit != server.directory.end()) {
+        if (auto vit = dit->second.find(query->var.version);
+            vit != dit->second.end()) {
+          // Index hits arrive in publish order, matching the old scan.
+          for (const auto& hit : vit->second.index.query(query->box)) {
+            hits.push_back(
+                vit->second.descs[static_cast<std::size_t>(hit.first)]);
+          }
         }
       }
       if (hits.empty()) {
@@ -117,16 +123,19 @@ sim::Task<> Dimes::server_loop(Server& server) {
     } else if (auto* publish = std::get_if<Publish>(&request)) {
       // Drop directory entries of evicted versions; clients evict their
       // local buffers on their own put/publish path.
-      auto& versions = server.directory[publish->var];
-      const int evict_upto = publish->version - config_.max_versions;
-      for (auto it = versions.begin(); it != versions.end();) {
-        if (it->first <= evict_upto) {
-          server.memory->free(
-              mem::Tag::kIndex,
-              config_.per_object_meta_bytes * it->second.size());
-          it = versions.erase(it);
-        } else {
-          ++it;
+      if (auto dit = server.directory.find(publish->var);
+          dit != server.directory.end()) {
+        auto& versions = dit->second;
+        const int evict_upto = publish->version - config_.max_versions;
+        for (auto it = versions.begin(); it != versions.end();) {
+          if (it->first <= evict_upto) {
+            server.memory->free(
+                mem::Tag::kIndex,
+                config_.per_object_meta_bytes * it->second.descs.size());
+            it = versions.erase(it);
+          } else {
+            ++it;
+          }
         }
       }
       if (server.id == 0) {

@@ -25,6 +25,7 @@
 #include "common/units.h"
 #include "hpc/cluster.h"
 #include "mem/memory.h"
+#include "ndarray/index.h"
 #include "ndarray/ndarray.h"
 #include "net/transport.h"
 #include "sim/engine.h"
@@ -120,6 +121,12 @@ class Dimes {
     nda::Box box;
     int owner_pid;
   };
+  // One version's descriptors plus a spatial index over their boxes (ids
+  // are positions in `descs`), so queries skip non-intersecting objects.
+  struct VersionDescs {
+    std::vector<ObjectDesc> descs;
+    nda::BoxIndex index;
+  };
 
   struct PutMeta {
     nda::VarDesc var;
@@ -151,8 +158,9 @@ class Dimes {
     net::Endpoint endpoint;
     std::unique_ptr<mem::ProcessMemory> memory;
     std::unique_ptr<sim::Queue<Request>> queue;
-    // var -> version -> descriptors
-    std::map<std::string, std::map<int, std::vector<ObjectDesc>>> directory;
+    // var -> version -> descriptors (transparent comparator: lookups take
+    // string_view keys without building std::string temporaries)
+    std::map<std::string, std::map<int, VersionDescs>, std::less<>> directory;
     ServerStats stats;
   };
   struct Board {

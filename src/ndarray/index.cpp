@@ -1,0 +1,256 @@
+#include "ndarray/index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/hilbert.h"
+
+namespace imc::nda {
+
+namespace {
+
+// Below this many entries a brute scan beats grid bookkeeping.
+constexpr std::size_t kBruteThreshold = 16;
+
+}  // namespace
+
+BoxIndex BoxIndex::build(const std::vector<Box>& boxes) {
+  BoxIndex index;
+  index.entries_.reserve(boxes.size());
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    index.insert(static_cast<int>(i), boxes[i]);
+  }
+  return index;
+}
+
+void BoxIndex::insert(int id, const Box& box) {
+  entries_.push_back({id, box});
+  if (stale_) return;
+  // Fold into the built grid when possible; otherwise rebuild lazily. A
+  // doubling bound keeps bucket occupancy near the geometry the grid was
+  // sized for.
+  if (entries_.size() > 2 * built_count_) {
+    stale_ = true;
+    return;
+  }
+  const int entry = static_cast<int>(entries_.size() - 1);
+  if (box.empty() || box.dims() != bounds_.dims()) {
+    coarse_.push_back(entry);
+    return;
+  }
+  if (cell_bits_ == 0 || !bounds_.contains(box)) {
+    stale_ = true;  // grid-less or outside the built bounds: re-tile
+    return;
+  }
+  std::vector<std::uint32_t> lo, hi;
+  const std::uint64_t cells = cell_range(box, lo, hi);
+  if (cells == 0 || cells > kCoarseCellLimit) {
+    coarse_.push_back(entry);
+    return;
+  }
+  std::vector<std::uint32_t> cursor = lo;
+  std::vector<std::uint32_t> scratch;
+  for (;;) {
+    scratch = cursor;
+    buckets_[hilbert_distance(scratch, cell_bits_)].push_back(entry);
+    std::size_t d = cursor.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (++cursor[d] <= hi[d]) {
+        done = false;
+        break;
+      }
+      cursor[d] = lo[d];
+    }
+    if (done) break;
+  }
+}
+
+std::uint64_t BoxIndex::cell_of(std::uint64_t p, std::size_t d) const {
+  return (p - bounds_.lb[d]) / cell_size_[d];
+}
+
+std::uint64_t BoxIndex::cell_range(const Box& box,
+                                   std::vector<std::uint32_t>& lo,
+                                   std::vector<std::uint32_t>& hi) const {
+  auto clipped = intersect(box, bounds_);
+  if (!clipped) return 0;
+  const std::size_t nd = clipped->lb.size();
+  lo.resize(nd);
+  hi.resize(nd);
+  std::uint64_t cells = 1;
+  for (std::size_t d = 0; d < nd; ++d) {
+    lo[d] = static_cast<std::uint32_t>(cell_of(clipped->lb[d], d));
+    hi[d] = static_cast<std::uint32_t>(cell_of(clipped->ub[d] - 1, d));
+    cells *= hi[d] - lo[d] + 1;
+  }
+  return cells;
+}
+
+void BoxIndex::rebuild() const {
+  buckets_.clear();
+  coarse_.clear();
+  bounds_ = Box();
+  cell_size_.clear();
+  cell_bits_ = 0;
+  built_count_ = entries_.size();
+  stale_ = false;
+  if (entries_.size() < kBruteThreshold) return;  // brute path; no grid
+
+  // Grid geometry comes from the entries that can use it: non-empty boxes of
+  // the dominant (first-seen) dimensionality. Everything else — empty boxes,
+  // mismatched dims — rides the coarse list with an exact intersect test.
+  int grid_dims = -1;
+  std::size_t candidates = 0;
+  Dims extent_sum;
+  for (const Entry& e : entries_) {
+    if (e.box.empty()) continue;
+    if (grid_dims < 0) {
+      grid_dims = e.box.dims();
+      bounds_ = e.box;
+      extent_sum.assign(e.box.lb.size(), 0);
+    }
+    if (e.box.dims() != grid_dims) continue;
+    ++candidates;
+    for (std::size_t d = 0; d < e.box.lb.size(); ++d) {
+      bounds_.lb[d] = std::min(bounds_.lb[d], e.box.lb[d]);
+      bounds_.ub[d] = std::max(bounds_.ub[d], e.box.ub[d]);
+      extent_sum[d] += e.box.extent(static_cast<int>(d));
+    }
+  }
+  if (grid_dims <= 0 || candidates < kBruteThreshold) {
+    bounds_ = Box();
+    return;
+  }
+  const std::size_t nd = static_cast<std::size_t>(grid_dims);
+  const int max_bits = std::min<int>(16, 64 / static_cast<int>(nd));
+  if (max_bits < 1) {
+    bounds_ = Box();
+    return;
+  }
+
+  // Cell size per dimension tracks the average entry extent, so a typical
+  // box lands in O(1) cells and a typical query visits O(results) cells.
+  cell_size_.resize(nd);
+  int need_bits = 1;
+  for (std::size_t d = 0; d < nd; ++d) {
+    const std::uint64_t extent = bounds_.extent(static_cast<int>(d));
+    const std::uint64_t avg = std::max<std::uint64_t>(
+        1, extent_sum[d] / static_cast<std::uint64_t>(candidates));
+    std::uint64_t cells = std::clamp<std::uint64_t>(
+        extent / avg, 1, std::uint64_t{1} << max_bits);
+    cell_size_[d] = std::max<std::uint64_t>(1, (extent + cells - 1) / cells);
+    const std::uint64_t actual = (extent - 1) / cell_size_[d] + 1;
+    need_bits = std::max(
+        need_bits, static_cast<int>(std::bit_width(actual - 1)));
+  }
+  cell_bits_ = std::max(1, std::min(need_bits, max_bits));
+
+  std::vector<std::uint32_t> lo, hi, cursor, scratch;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Box& box = entries_[i].box;
+    if (box.empty() || box.dims() != grid_dims) {
+      coarse_.push_back(static_cast<int>(i));
+      continue;
+    }
+    const std::uint64_t cells = cell_range(box, lo, hi);
+    if (cells == 0 || cells > kCoarseCellLimit) {
+      coarse_.push_back(static_cast<int>(i));
+      continue;
+    }
+    cursor = lo;
+    for (;;) {
+      scratch = cursor;
+      buckets_[hilbert_distance(scratch, cell_bits_)].push_back(
+          static_cast<int>(i));
+      std::size_t d = cursor.size();
+      bool done = true;
+      while (d-- > 0) {
+        if (++cursor[d] <= hi[d]) {
+          done = false;
+          break;
+        }
+        cursor[d] = lo[d];
+      }
+      if (done) break;
+    }
+  }
+}
+
+void BoxIndex::brute_query(const Box& target,
+                           std::vector<std::pair<int, Box>>& out) const {
+  for (const Entry& e : entries_) {
+    if (auto overlap = intersect(e.box, target)) {
+      out.emplace_back(e.id, std::move(*overlap));
+    }
+  }
+}
+
+std::vector<std::pair<int, Box>> BoxIndex::query(const Box& target) const {
+  std::vector<std::pair<int, Box>> out;
+  if (entries_.empty()) return out;
+  if (stale_) rebuild();
+  if (cell_bits_ == 0 || target.empty() || target.dims() != bounds_.dims()) {
+    brute_query(target, out);
+    return out;
+  }
+
+  std::vector<std::uint32_t> lo, hi;
+  const std::uint64_t cells = cell_range(target, lo, hi);
+  std::vector<int> candidates;
+  if (cells > kQueryCellLimit) {
+    // Huge query (e.g. target containing the whole universe): visiting every
+    // cell would cost more than the scan the index exists to avoid.
+    brute_query(target, out);
+    return out;
+  }
+  if (cells > 0) {
+    std::vector<std::uint32_t> cursor = lo;
+    std::vector<std::uint32_t> scratch;
+    for (;;) {
+      scratch = cursor;
+      auto it = buckets_.find(hilbert_distance(scratch, cell_bits_));
+      if (it != buckets_.end()) {
+        candidates.insert(candidates.end(), it->second.begin(),
+                          it->second.end());
+      }
+      std::size_t d = cursor.size();
+      bool done = true;
+      while (d-- > 0) {
+        if (++cursor[d] <= hi[d]) {
+          done = false;
+          break;
+        }
+        cursor[d] = lo[d];
+      }
+      if (done) break;
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+
+  // Merge grid candidates with the always-scanned coarse list in ascending
+  // entry order so output order matches brute-force insertion order.
+  std::size_t ci = 0, gi = 0;
+  while (ci < coarse_.size() || gi < candidates.size()) {
+    int entry;
+    if (gi >= candidates.size()) {
+      entry = coarse_[ci++];
+    } else if (ci >= coarse_.size()) {
+      entry = candidates[gi++];
+    } else if (coarse_[ci] < candidates[gi]) {
+      entry = coarse_[ci++];
+    } else {
+      entry = candidates[gi++];
+    }
+    const Entry& e = entries_[static_cast<std::size_t>(entry)];
+    if (auto overlap = intersect(e.box, target)) {
+      out.emplace_back(e.id, std::move(*overlap));
+    }
+  }
+  return out;
+}
+
+}  // namespace imc::nda

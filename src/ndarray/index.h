@@ -1,0 +1,87 @@
+// Spatial index over a set of axis-aligned boxes.
+//
+// Every staged-object lookup in the reproduction — DataSpaces region
+// resolution, the server object tables, DIMES metadata queries — is "which
+// of these n boxes intersect this target box?". The naive answer
+// (nda::intersecting) scans all n; this index buckets boxes into a coarse
+// grid keyed by the Hilbert distance of the cell (the same SFC DataSpaces
+// itself uses for its DHT, §III-B3), so a query touches only the buckets
+// its target overlaps: O(cells + k) instead of O(n).
+//
+// Grid geometry adapts to the data: per-dimension cell sizes track the
+// average box extent, so a 1-D staging-region decomposition gets cells only
+// along the cut dimension and a Cartesian grid decomposition gets a matching
+// grid. Boxes spanning too many cells land on a small "coarse" list that
+// every query scans; queries spanning too many cells fall back to the brute
+// scan. Both fallbacks keep worst cases no slower than nda::intersecting.
+//
+// Determinism: query() returns exactly what nda::intersecting over the same
+// boxes (in insertion order) returns — same pairs, same order — proven by a
+// randomized property test. Internal hash buckets are only ever looked up,
+// never iterated, so address-dependent ordering cannot leak out.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ndarray/ndarray.h"
+
+namespace imc::nda {
+
+class BoxIndex {
+ public:
+  BoxIndex() = default;
+
+  // Index over a fixed set; ids are the positions in `boxes`.
+  static BoxIndex build(const std::vector<Box>& boxes);
+
+  // Adds one box under the caller's id. Queries return ids in insertion
+  // order, so inserting with ascending ids reproduces brute-force order.
+  void insert(int id, const Box& box);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // All (id, overlap) pairs of indexed boxes intersecting `target`, in
+  // insertion order — element-for-element equal to
+  // nda::intersecting(boxes, target) for the same boxes.
+  std::vector<std::pair<int, Box>> query(const Box& target) const;
+
+ private:
+  struct Entry {
+    int id;
+    Box box;
+  };
+
+  // A box heavier than this many cells is kept on the coarse list instead
+  // of being replicated into every bucket it touches.
+  static constexpr std::uint64_t kCoarseCellLimit = 64;
+  // A query visiting more cells than this scans entries directly instead.
+  static constexpr std::uint64_t kQueryCellLimit = 2048;
+
+  void rebuild() const;
+  bool grid_usable(const Box& target) const;
+  std::uint64_t cell_of(std::uint64_t p, std::size_t d) const;
+  // Inclusive per-dimension cell range covered by `box` (clipped to the
+  // grid bounds); returns the total cell count, 0 if outside the bounds.
+  std::uint64_t cell_range(const Box& box, std::vector<std::uint32_t>& lo,
+                           std::vector<std::uint32_t>& hi) const;
+  void brute_query(const Box& target,
+                   std::vector<std::pair<int, Box>>& out) const;
+
+  std::vector<Entry> entries_;
+
+  // Grid state, rebuilt lazily on query (mutable: the index is a cache; the
+  // simulation substrate is single-threaded by construction).
+  mutable bool stale_ = true;
+  mutable std::size_t built_count_ = 0;  // entries_ size at last rebuild
+  mutable Box bounds_;                   // union of indexed boxes
+  mutable std::vector<std::uint64_t> cell_size_;  // per dimension, >= 1
+  mutable int cell_bits_ = 0;  // Hilbert bits per dimension; 0 = no grid
+  // Hilbert cell key -> indices into entries_.
+  mutable std::unordered_map<std::uint64_t, std::vector<int>> buckets_;
+  mutable std::vector<int> coarse_;  // entry indices scanned on every query
+};
+
+}  // namespace imc::nda

@@ -1,5 +1,6 @@
 #include "ndarray/ndarray.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <sstream>
@@ -162,11 +163,42 @@ std::uint64_t VarDesc::total_bytes() const {
   return v * kElementBytes;
 }
 
+namespace {
+
+// Maps a chained hash to synthetic_value's (-1, 1) range.
+double unit_from_hash(std::uint64_t h) {
+  // Map to (-1, 1) with full mantissa use.
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+// Advances all but the innermost dimension of `coord` through `within`
+// (row-major: the innermost dimension is the contiguous run the bulk
+// kernels below copy in one go). Returns false once every row is visited.
+bool next_row(Dims& coord, const Box& within) {
+  std::size_t d = coord.size() - 1;
+  while (d-- > 0) {
+    if (++coord[d] < within.ub[d]) return true;
+    coord[d] = within.lb[d];
+  }
+  return false;
+}
+
+// Hash prefix over the outer coordinates: synthetic_value / checksum chain
+// their per-coordinate hashes left to right, so one prefix per row covers
+// everything but the innermost coordinate.
+std::uint64_t row_prefix(std::uint64_t h, const Dims& coord) {
+  for (std::size_t d = 0; d + 1 < coord.size(); ++d) {
+    h = splitmix64(h ^ coord[d]);
+  }
+  return h;
+}
+
+}  // namespace
+
 double synthetic_value(std::uint64_t seed, const Dims& coord) {
   std::uint64_t h = splitmix64(seed);
   for (std::uint64_t c : coord) h = splitmix64(h ^ c);
-  // Map to (-1, 1) with full mantissa use.
-  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+  return unit_from_hash(h);
 }
 
 Slab Slab::materialized(Box box, std::vector<double> data) {
@@ -210,46 +242,80 @@ void Slab::set(const Dims& coord, double value) {
   data_[offset_of(coord)] = value;
 }
 
-template <typename Fn>
-void Slab::for_each_coord(const Box& within, Fn&& fn) const {
-  if (within.empty()) return;
-  Dims coord = within.lb;
-  for (;;) {
-    fn(coord);
-    // Odometer increment, last dimension fastest (row-major order).
-    std::size_t d = coord.size();
-    while (d-- > 0) {
-      if (++coord[d] < within.ub[d]) break;
-      coord[d] = within.lb[d];
-      if (d == 0) return;  // every dimension wrapped: done
-    }
-  }
-}
-
 void Slab::fill_from(const Slab& src) {
   assert(materialized_);
   auto overlap = intersect(box_, src.box());
-  if (!overlap) return;
-  for_each_coord(*overlap, [&](const Dims& coord) {
-    data_[offset_of(coord)] = src.at(coord);
-  });
+  if (!overlap || overlap->volume() == 0) return;
+  const std::size_t nd = overlap->lb.size();
+  const std::uint64_t row_len = overlap->extent(static_cast<int>(nd) - 1);
+  if (src.materialized_) {
+    if (*overlap == box_ && box_ == src.box_) {
+      // Fully-contained fast path: both buffers are exactly the overlap.
+      std::copy(src.data_.begin(), src.data_.end(), data_.begin());
+      return;
+    }
+    Dims coord = overlap->lb;
+    do {
+      std::copy_n(src.data_.data() + src.offset_of(coord), row_len,
+                  data_.data() + offset_of(coord));
+    } while (next_row(coord, *overlap));
+    return;
+  }
+  // Synthetic source: one hash prefix per row, finished per element.
+  const std::uint64_t c0 = overlap->lb[nd - 1];
+  Dims coord = overlap->lb;
+  do {
+    const std::uint64_t prefix = row_prefix(splitmix64(src.seed_), coord);
+    double* row = data_.data() + offset_of(coord);
+    for (std::uint64_t i = 0; i < row_len; ++i) {
+      row[i] = unit_from_hash(splitmix64(prefix ^ (c0 + i)));
+    }
+  } while (next_row(coord, *overlap));
 }
 
 Slab Slab::extract(const Box& sub) const {
   assert(box_.contains(sub));
   if (!materialized_) return synthetic(sub, seed_);
-  Slab out = zeros(sub);
-  out.fill_from(*this);
-  return out;
+  if (sub == box_) return *this;
+  // Gather rows straight into the new buffer — no zero-fill of memory that
+  // is overwritten on the next line anyway.
+  std::vector<double> data;
+  data.reserve(sub.volume());
+  if (sub.volume() > 0) {
+    const std::size_t nd = sub.lb.size();
+    const std::uint64_t row_len = sub.extent(static_cast<int>(nd) - 1);
+    Dims coord = sub.lb;
+    do {
+      const double* row = data_.data() + offset_of(coord);
+      data.insert(data.end(), row, row + row_len);
+    } while (next_row(coord, sub));
+  }
+  return materialized(sub, std::move(data));
 }
 
 double Slab::checksum() const {
   double sum = 0;
-  for_each_coord(box_, [&](const Dims& coord) {
-    std::uint64_t h = 0x9e3779b9;
-    for (std::uint64_t c : coord) h = splitmix64(h ^ c);
-    sum += static_cast<double>(h >> 40) * at(coord);
-  });
+  if (box_.volume() == 0) return sum;
+  const std::size_t nd = box_.lb.size();
+  const std::uint64_t row_len = box_.extent(static_cast<int>(nd) - 1);
+  const std::uint64_t c0 = box_.lb[nd - 1];
+  Dims coord = box_.lb;
+  // Row-major accumulation in the exact per-element formula (coordinate
+  // hash times value), so the sum stays bit-identical across rewrites.
+  do {
+    const std::uint64_t hash_prefix = row_prefix(0x9e3779b9, coord);
+    const std::uint64_t value_prefix =
+        materialized_ ? 0 : row_prefix(splitmix64(seed_), coord);
+    const double* row = materialized_ ? data_.data() + offset_of(coord)
+                                      : nullptr;
+    for (std::uint64_t i = 0; i < row_len; ++i) {
+      const std::uint64_t c = c0 + i;
+      const double value =
+          row != nullptr ? row[i]
+                         : unit_from_hash(splitmix64(value_prefix ^ c));
+      sum += static_cast<double>(splitmix64(hash_prefix ^ c) >> 40) * value;
+    }
+  } while (next_row(coord, box_));
   return sum;
 }
 

@@ -135,8 +135,6 @@ class Slab {
 
  private:
   std::uint64_t offset_of(const Dims& coord) const;
-  template <typename Fn>
-  void for_each_coord(const Box& within, Fn&& fn) const;
 
   Box box_;
   bool materialized_ = false;

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -118,7 +119,25 @@ void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
     t = now_;
   }
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{t, tie_break_key(seq), seq, h});
+  Event ev{t, tie_break_key(seq), seq, h};
+  if (t != now_) {
+    queue_.push(ev);
+    return;
+  }
+  // Same-instant event: place it into the ready batch at its tie-break
+  // rank. Under FIFO the rank is the scheduling order, so this is a pure
+  // append; other policies pay an ordered insert into the pending tail.
+  const auto before = [](const Event& a, const Event& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  };
+  if (ready_head_ == ready_.size() || before(ready_.back(), ev)) {
+    ready_.push_back(ev);
+    return;
+  }
+  ready_.insert(
+      std::upper_bound(ready_.begin() + static_cast<std::ptrdiff_t>(ready_head_),
+                       ready_.end(), ev, before),
+      ev);
 }
 
 void Engine::spawn(Task<> task) {
@@ -141,14 +160,28 @@ std::size_t Engine::run() { return run_until(-1); }
 
 std::size_t Engine::run_until(SimTime deadline) {
   std::size_t processed = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    if (deadline >= 0 && ev.time > deadline) break;
-    queue_.pop();
-    now_ = ev.time;
-    ++processed;
-    note_event(ev);
-    ev.handle.resume();
+  for (;;) {
+    if (ready_head_ < ready_.size()) {
+      if (deadline >= 0 && now_ > deadline) break;
+      Event ev = ready_[ready_head_++];  // copy: resume may grow ready_
+      ++processed;
+      note_event(ev);
+      ev.handle.resume();
+      continue;
+    }
+    // Batch exhausted: recycle its storage and advance to the next instant,
+    // draining every event at that time so the heap never holds
+    // current-instant events.
+    ready_.clear();
+    ready_head_ = 0;
+    if (queue_.empty()) break;
+    const SimTime t = queue_.top().time;
+    if (deadline >= 0 && t > deadline) break;
+    now_ = t;
+    while (!queue_.empty() && queue_.top().time == t) {
+      ready_.push_back(queue_.top());
+      queue_.pop();
+    }
   }
   return processed;
 }

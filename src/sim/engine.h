@@ -157,7 +157,14 @@ class Engine {
   Schedule schedule_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  // Future events (time > now_) live on the heap; events scheduled for the
+  // current instant go straight into `ready_`, a tie-break-sorted batch
+  // whose storage is recycled across instants. yield()/schedule_now thus
+  // skip the heap entirely, and the pop order — (time, key, seq) ascending —
+  // is exactly what a single heap would produce, so digests are unchanged.
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Event> ready_;     // [ready_head_, end) sorted by (key, seq)
+  std::size_t ready_head_ = 0;   // next ready event to resume
   // Live detached processes, keyed by frame address (handle recoverable via
   // from_address). Needed so ~Engine can reclaim parked processes.
   std::unordered_map<void*, std::coroutine_handle<>> roots_;

@@ -8,6 +8,7 @@
 #include "check/check.h"
 #include "common/audit.h"
 #include "sim/engine.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "workflow/workflow.h"
 
@@ -152,6 +153,84 @@ TEST(RunDeterministic, FlagsNonReproducibleRun) {
   EXPECT_NE(report.to_string().find("first divergence at event #"),
             std::string::npos)
       << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Pooled-event engine fixtures. The engine batches same-instant events so
+// yield()/schedule_now skip the heap; these scenarios hammer that fast path
+// and would flag any tie-break order drift it introduced — as a FIFO/LIFO
+// outcome mismatch or as a non-reproducible same-schedule digest.
+
+// Yield storm over a deep parked heap. The declared outcome (each worker
+// completed all its yields, at virtual time zero) is schedule-invariant;
+// the digest pins the exact pop order per schedule.
+Outcome yield_storm(const Schedule& schedule) {
+  Engine engine(schedule);
+  engine.record_trace(4096);
+  for (int i = 0; i < 32; ++i) {
+    engine.spawn([](Engine& e) -> Task<> { co_await e.sleep(1e9); }(engine));
+  }
+  std::vector<int> counts(4, 0);
+  for (int w = 0; w < 4; ++w) {
+    engine.spawn([](Engine& e, int& count) -> Task<> {
+      for (int i = 0; i < 50; ++i) {
+        co_await e.yield();
+        ++count;
+      }
+    }(engine, counts[w]));
+  }
+  engine.run_until(1.0);
+  Outcome out;
+  out.digest = engine.digest();
+  out.events = engine.events_processed();
+  out.exact = "t=" + std::to_string(engine.now());
+  for (int c : counts) out.exact += " " + std::to_string(c);
+  out.trace = engine.trace();
+  return out;
+}
+
+TEST(RunDeterministic, PooledEngineYieldStormIsScheduleInvariant) {
+  Report report = check::run_deterministic("yield-storm", yield_storm);
+  EXPECT_TRUE(report.deterministic) << report.to_string();
+}
+
+// Same-instant producer/consumer pipeline through sim::Queue: every wake-up
+// lands in the current ready batch. Per-producer FIFO delivery must hold
+// under every schedule even though the global interleaving differs.
+Outcome same_instant_pipeline(const Schedule& schedule) {
+  Engine engine(schedule);
+  sim::Queue<int> queue(engine);
+  std::vector<int> received;
+  engine.spawn([](sim::Queue<int>& q, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 60; ++i) out.push_back(co_await q.pop());
+  }(queue, received));
+  for (int p = 0; p < 3; ++p) {
+    engine.spawn([](Engine& e, sim::Queue<int>& q, int base) -> Task<> {
+      for (int i = 0; i < 20; ++i) {
+        q.push(base + i);
+        co_await e.yield();
+      }
+    }(engine, queue, 100 * p));
+  }
+  engine.run();
+  Outcome out;
+  out.digest = engine.digest();
+  out.events = engine.events_processed();
+  // Split the arrivals back into per-producer streams: each must be exactly
+  // 0..19 in order, whatever the cross-producer interleaving was.
+  std::vector<std::string> streams(3);
+  for (int v : received) {
+    streams[static_cast<std::size_t>(v / 100)] += std::to_string(v % 100) + ",";
+  }
+  out.exact = "n=" + std::to_string(received.size());
+  for (const auto& s : streams) out.exact += " [" + s + "]";
+  return out;
+}
+
+TEST(RunDeterministic, SameInstantQueuePipelineIsScheduleInvariant) {
+  Report report =
+      check::run_deterministic("same-instant-pipeline", same_instant_pipeline);
+  EXPECT_TRUE(report.deterministic) << report.to_string();
 }
 
 // ---------------------------------------------------------------------------

@@ -243,5 +243,93 @@ TEST(Slab, ChecksumIsDecompositionInvariantButContentSensitive) {
   EXPECT_NE(copy.checksum(), a.checksum());
 }
 
+TEST(Slab, StridedFillMatchesPerElementCopy) {
+  // The row-run copy kernels must be element-for-element identical to the
+  // per-coordinate loop they replaced, for every rank and source kind.
+  struct Case {
+    Box dst, src;
+  };
+  const std::vector<Case> cases = {
+      {Box({0}, {40}), Box({25}, {60})},
+      {Box({0, 0}, {12, 17}), Box({5, 3}, {20, 11})},
+      {Box({2, 2, 2}, {10, 9, 8}), Box({0, 4, 3}, {7, 12, 6})},
+  };
+  for (const auto& c : cases) {
+    for (bool synthetic_src : {true, false}) {
+      Slab src = synthetic_src
+                     ? Slab::synthetic(c.src, 11)
+                     : [&] {
+                         Slab m = Slab::zeros(c.src);
+                         m.fill_from(Slab::synthetic(c.src, 11));
+                         return m;
+                       }();
+      Slab fast = Slab::zeros(c.dst);
+      fast.fill_from(src);
+      // Reference: element-wise walk of the destination box.
+      auto overlap = intersect(c.dst, c.src);
+      ASSERT_TRUE(overlap.has_value());
+      Dims coord = c.dst.lb;
+      for (;;) {
+        const double expected =
+            overlap->contains_point(coord) ? src.at(coord) : 0.0;
+        EXPECT_DOUBLE_EQ(fast.at(coord), expected)
+            << "synthetic=" << synthetic_src;
+        std::size_t d = coord.size();
+        bool done = true;
+        for (; d-- > 0;) {
+          if (++coord[d] < c.dst.ub[d]) {
+            done = false;
+            break;
+          }
+          coord[d] = c.dst.lb[d];
+        }
+        if (done) break;
+      }
+    }
+  }
+}
+
+TEST(Slab, FullyContainedFillUsesWholeBuffer) {
+  // dst == src == overlap: the single-copy fast path.
+  const Box box({3, 3}, {9, 9});
+  Slab src = Slab::zeros(box);
+  src.set({5, 5}, 2.5);
+  Slab dst = Slab::zeros(box);
+  dst.fill_from(src);
+  EXPECT_DOUBLE_EQ(dst.at({5, 5}), 2.5);
+  EXPECT_DOUBLE_EQ(dst.checksum(), src.checksum());
+}
+
+TEST(Slab, ExtractWholeBoxEqualsCopy) {
+  Slab src = Slab::zeros(Box({0, 0}, {5, 5}));
+  src.set({4, 4}, -3.0);
+  Slab whole = src.extract(src.box());
+  EXPECT_TRUE(whole.is_materialized());
+  EXPECT_EQ(whole.box(), src.box());
+  EXPECT_DOUBLE_EQ(whole.at({4, 4}), -3.0);
+  EXPECT_DOUBLE_EQ(whole.checksum(), src.checksum());
+}
+
+TEST(Slab, ChecksumMatchesDefinitionForBothKinds) {
+  // Pin the checksum to its per-element definition so the rowwise
+  // accumulation cannot drift (digest comparisons rely on bit equality).
+  const Box box({1, 2, 3}, {4, 7, 9});
+  Slab synth = Slab::synthetic(box, 123);
+  Slab mat = Slab::zeros(box);
+  mat.fill_from(synth);
+  double expected = 0;
+  for (std::uint64_t x = 1; x < 4; ++x) {
+    for (std::uint64_t y = 2; y < 7; ++y) {
+      for (std::uint64_t z = 3; z < 9; ++z) {
+        std::uint64_t h = 0x9e3779b9;
+        for (std::uint64_t c : {x, y, z}) h = splitmix64(h ^ c);
+        expected += static_cast<double>(h >> 40) * synth.at({x, y, z});
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(synth.checksum(), expected);
+  EXPECT_DOUBLE_EQ(mat.checksum(), expected);
+}
+
 }  // namespace
 }  // namespace imc::nda

@@ -402,5 +402,104 @@ TEST(Engine, SpawnFromWithinProcess) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
+// ---------------------------------------------------------------------------
+// Same-instant ready batch: yield()/schedule_now service the current instant
+// without touching the heap. These tests pin the tie-break semantics the
+// fast path must preserve.
+
+TEST(Engine, YieldStormRoundRobinsFifoWithParkedHeap) {
+  // FIFO round-robin among same-instant yielders must hold even while
+  // far-future sleepers keep the heap deep — parked events must never leak
+  // into the current batch.
+  Engine engine;
+  for (int i = 0; i < 64; ++i) {
+    engine.spawn([](Engine& e) -> Task<> { co_await e.sleep(1e9); }(engine));
+  }
+  std::vector<int> log;
+  for (int id = 0; id < 3; ++id) {
+    engine.spawn([](Engine& e, std::vector<int>& out, int id) -> Task<> {
+      for (int round = 0; round < 4; ++round) {
+        out.push_back(id);
+        co_await e.yield();
+      }
+    }(engine, log, id));
+  }
+  engine.run_until(1.0);
+  std::vector<int> expect;
+  for (int round = 0; round < 4; ++round) {
+    for (int id = 0; id < 3; ++id) expect.push_back(id);
+  }
+  EXPECT_EQ(log, expect);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);  // sleepers stayed parked
+}
+
+TEST(Engine, LifoOrderHoldsMidBatch) {
+  // Hand-computed LIFO order with continuations scheduled into an in-flight
+  // batch: the key is ~seq, so a freshly scheduled yield continuation must
+  // preempt every older same-instant event.
+  Engine engine(Schedule{TieBreak::kLifo, 0});
+  std::vector<std::string> log;
+  auto proc = [](Engine& e, std::vector<std::string>& out,
+                 std::string tag) -> Task<> {
+    out.push_back(tag + "1");
+    co_await e.yield();
+    out.push_back(tag + "2");
+  };
+  engine.spawn(proc(engine, log, "a"));  // spawn event seq 0
+  engine.spawn(proc(engine, log, "b"));  // spawn event seq 1
+  engine.run();
+  // b starts first (~1 < ~0); its yield (seq 2, key ~2) then preempts a.
+  EXPECT_EQ(log, (std::vector<std::string>{"b1", "b2", "a1", "a2"}));
+}
+
+TEST(Engine, RunUntilFinishesSameInstantBatchAtDeadline) {
+  // The deadline is inclusive for the whole batch: continuations that keep
+  // rescheduling at exactly t == deadline all run before run_until returns.
+  Engine engine;
+  int yields_done = 0;
+  bool late_ran = false;
+  engine.spawn([](Engine& e, int& n) -> Task<> {
+    co_await e.sleep(2.0);
+    for (int i = 0; i < 5; ++i) {
+      co_await e.yield();
+      ++n;
+    }
+  }(engine, yields_done));
+  engine.spawn([](Engine& e, bool& ran) -> Task<> {
+    co_await e.sleep(3.0);
+    ran = true;
+  }(engine, late_ran));
+  engine.run_until(2.0);
+  EXPECT_EQ(yields_done, 5);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Engine, DigestUnchangedBySteppedRunUntil) {
+  // Pop order (and therefore the digest) must not depend on whether the run
+  // is driven in one shot or stepped through deadlines that slice batches.
+  auto build = [](Engine& engine) {
+    for (int i = 0; i < 6; ++i) {
+      engine.spawn([](Engine& e, int id) -> Task<> {
+        for (int hop = 0; hop < 4; ++hop) {
+          co_await e.sleep(static_cast<double>((id + hop) % 3));
+          co_await e.yield();
+        }
+      }(engine, i));
+    }
+  };
+  Engine one_shot;
+  build(one_shot);
+  one_shot.run();
+  Engine stepped;
+  build(stepped);
+  for (double t = 0.0; t < 16.0; t += 0.5) stepped.run_until(t);
+  stepped.run();
+  EXPECT_EQ(one_shot.digest(), stepped.digest());
+  EXPECT_EQ(one_shot.events_processed(), stepped.events_processed());
+}
+
 }  // namespace
 }  // namespace imc::sim
