@@ -35,9 +35,12 @@ void ablate_rdma_retry() {
   spec.steps = 3;
   spec.num_servers = 4;
   spec.servers_per_node = 1;
-  print_result("fail-fast (the real library)", workflow::run(spec));
+  std::vector<Spec> specs = {spec};
   spec.rdma_wait_retry = true;
-  print_result("wait-and-retry", workflow::run(spec));
+  specs.push_back(spec);
+  const auto results = bench::run_all(specs);
+  print_result("fail-fast (the real library)", results[0]);
+  print_result("wait-and-retry", results[1]);
 }
 
 void ablate_socket_pool() {
@@ -52,9 +55,12 @@ void ablate_socket_pool() {
   spec.nana = 128;
   spec.steps = 2;
   spec.transport = Spec::Transport::kSockets;
-  print_result("per-connection sockets", workflow::run(spec));
+  std::vector<Spec> specs = {spec};
   spec.socket_pooling = true;
-  auto pooled = workflow::run(spec);
+  specs.push_back(spec);
+  const auto results = bench::run_all(specs);
+  print_result("per-connection sockets", results[0]);
+  const auto& pooled = results[1];
   print_result("pooled (2 streams/node pair)", pooled);
   if (pooled.ok) {
     std::printf("  %-34s %d descriptors at peak (vs depletion above)\n", "",
@@ -73,15 +79,20 @@ void ablate_drc_metering() {
   spec.nsim = 128;
   spec.nana = 64;
   spec.steps = 2;
-  print_result("load-shedding DRC (the real service)", workflow::run(spec));
+  std::vector<Spec> specs = {spec};
   spec.drc_metered = true;
-  print_result("metered DRC", workflow::run(spec));
+  specs.push_back(spec);
+  const auto results = bench::run_all(specs);
+  print_result("load-shedding DRC (the real service)", results[0]);
+  print_result("metered DRC", results[1]);
 }
 
 void ablate_queue_size() {
   std::printf("\n[4] Flexpath queue_size (Table I fixes 1) — LAMMPS, Titan, "
               "analytics 3x slower than the simulation:\n");
-  for (int queue_size : {1, 2, 4}) {
+  const int kQueueSizes[] = {1, 2, 4};
+  std::vector<Spec> specs;
+  for (int queue_size : kQueueSizes) {
     Spec spec;
     spec.app = AppSel::kLammps;
     spec.method = MethodSel::kFlexpath;
@@ -90,9 +101,14 @@ void ablate_queue_size() {
     spec.nana = 2;  // few readers processing a lot: analytics-bound
     spec.steps = 4;
     spec.flexpath_queue_size = queue_size;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+  std::size_t idx = 0;
+  for (int queue_size : kQueueSizes) {
     char label[64];
     std::snprintf(label, sizeof(label), "queue_size=%d", queue_size);
-    auto result = workflow::run(spec);
+    const auto& result = results[idx++];
     if (result.ok) {
       std::printf("  %-34s sim finished %7.2f s, workflow %7.2f s, "
                   "writer peak %4.0f MB\n",
@@ -109,7 +125,9 @@ void ablate_queue_size() {
 void ablate_servers_per_node() {
   std::printf("\n[5] DataSpaces servers per staging node (paper runs 2) — "
               "Laplace 64 MB/proc, Titan, 8 servers:\n");
-  for (int spn : {1, 2, 4}) {
+  const int kSpn[] = {1, 2, 4};
+  std::vector<Spec> specs;
+  for (int spn : kSpn) {
     Spec spec;
     spec.app = AppSel::kLaplace;
     spec.method = MethodSel::kDataspacesNative;
@@ -121,9 +139,14 @@ void ablate_servers_per_node() {
     spec.servers_per_node = spn;
     spec.laplace_rows = 4096;
     spec.laplace_cols_per_proc = 2048;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+  std::size_t idx = 0;
+  for (int spn : kSpn) {
     char label[64];
     std::snprintf(label, sizeof(label), "servers_per_node=%d", spn);
-    print_result(label, workflow::run(spec));
+    print_result(label, results[idx++]);
   }
   std::printf("  (fewer servers per node buys registered-memory headroom at "
               "the cost of more staging nodes)\n");
@@ -135,7 +158,9 @@ void ablate_decaf_servers_density() {
   // Complements Fig. 11: with very few dataflow ranks the 7x Bredala
   // pipeline concentrates and can exceed node DRAM — the Table IV
   // out-of-main-memory scenario in ablation form.
-  for (int servers : {4, 8, 32}) {
+  const int kRanks[] = {4, 8, 32};
+  std::vector<Spec> specs;
+  for (int servers : kRanks) {
     Spec spec;
     spec.app = AppSel::kLaplace;
     spec.method = MethodSel::kDecaf;
@@ -146,9 +171,14 @@ void ablate_decaf_servers_density() {
     spec.steps = 2;
     spec.laplace_rows = 4096;
     spec.laplace_cols_per_proc = 2048;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+  std::size_t idx = 0;
+  for (int servers : kRanks) {
     char label[64];
     std::snprintf(label, sizeof(label), "dataflow ranks=%d", servers);
-    print_result(label, workflow::run(spec));
+    print_result(label, results[idx++]);
   }
 }
 

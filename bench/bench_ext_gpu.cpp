@@ -22,6 +22,11 @@ int main() {
   std::printf("\nLAMMPS+MSD, (128,64), DataSpaces/native, 20 MB/proc/step\n");
   std::printf("%-28s %12s %16s\n", "output residency", "end-to-end",
               "D2H copy/rank");
+  // The three residency modes plus the Cori rejection probe fan out on the
+  // sweep pool; rows print from the ordered results.
+  const char* kLabels[] = {"host memory", "GPU via PCIe bounce",
+                           "GPU via GPUDirect (future)"};
+  std::vector<workflow::Spec> specs;
   for (int mode = 0; mode < 3; ++mode) {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kLammps;
@@ -30,26 +35,10 @@ int main() {
     spec.nsim = 128;
     spec.nana = 64;
     spec.steps = 3;
-    const char* label = "host memory";
-    if (mode == 1) {
-      spec.gpu_resident_output = true;
-      label = "GPU via PCIe bounce";
-    } else if (mode == 2) {
-      spec.gpu_resident_output = true;
-      spec.use_gpudirect = true;
-      label = "GPU via GPUDirect (future)";
-    }
-    auto result = workflow::run(spec);
-    if (result.ok) {
-      std::printf("%-28s %10.2f s %14.3f s\n", label, result.end_to_end,
-                  result.gpu_copy_time);
-    } else {
-      std::printf("%-28s %s\n", label, result.failure_summary().c_str());
-    }
-    std::fflush(stdout);
+    if (mode >= 1) spec.gpu_resident_output = true;
+    if (mode == 2) spec.use_gpudirect = true;
+    specs.push_back(spec);
   }
-
-  std::printf("\nCori KNL has no GPUs; a GPU-resident run is rejected:\n");
   {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kLammps;
@@ -58,8 +47,23 @@ int main() {
     spec.nsim = 32;
     spec.nana = 16;
     spec.gpu_resident_output = true;
-    auto result = workflow::run(spec);
-    std::printf("  %s\n", result.failure_summary().c_str());
+    specs.push_back(spec);
   }
+  const auto results = bench::run_all(specs);
+
+  for (int mode = 0; mode < 3; ++mode) {
+    const auto& result = results[mode];
+    if (result.ok) {
+      std::printf("%-28s %10.2f s %14.3f s\n", kLabels[mode],
+                  result.end_to_end, result.gpu_copy_time);
+    } else {
+      std::printf("%-28s %s\n", kLabels[mode],
+                  result.failure_summary().c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\nCori KNL has no GPUs; a GPU-resident run is rejected:\n");
+  std::printf("  %s\n", results[3].failure_summary().c_str());
   return 0;
 }

@@ -15,7 +15,8 @@ using workflow::MethodSel;
 
 namespace {
 
-void compare(AppSel app, MethodSel method, int nsim, int nana) {
+workflow::Spec compare_spec(AppSel app, MethodSel method, int nsim,
+                            int nana) {
   workflow::Spec spec;
   spec.app = app;
   spec.method = method;
@@ -29,10 +30,12 @@ void compare(AppSel app, MethodSel method, int nsim, int nana) {
     spec.laplace_rows = 2048;
     spec.laplace_cols_per_proc = 1024;
   }
-  auto rdma = workflow::run(spec);
-  spec.transport = workflow::Spec::Transport::kSockets;
-  auto sockets = workflow::run(spec);
+  return spec;
+}
 
+void print_compare(AppSel app, MethodSel method,
+                   const workflow::RunResult& rdma,
+                   const workflow::RunResult& sockets) {
   std::printf("%-12s %-18s", std::string(to_string(app)).c_str(),
               std::string(to_string(method)).c_str());
   if (rdma.ok && sockets.ok) {
@@ -55,16 +58,25 @@ int main() {
               "RDMA (s)", "socket (s)", "RDMA gain");
   const auto [nsim, nana] =
       bench::full_scale() ? std::pair{1024, 512} : std::pair{256, 128};
-  compare(AppSel::kLammps, MethodSel::kFlexpath, nsim, nana);
-  compare(AppSel::kLammps, MethodSel::kDataspacesNative, nsim, nana);
-  compare(AppSel::kLaplace, MethodSel::kFlexpath, nsim, nana);
-  compare(AppSel::kLaplace, MethodSel::kDataspacesNative, nsim, nana);
-
-  // Beyond (1024,512) the socket runs cannot even connect: every client
-  // holds a descriptor on the staging node and the node's supply runs out
-  // (§III-B5).
-  std::printf("\nSocket-descriptor exhaustion beyond (1024,512):\n");
+  // RDMA + socket pairs per row, plus the trailing exhaustion probe, all
+  // fanned out on the sweep pool; rows print from the ordered results.
+  const std::pair<AppSel, MethodSel> kRows[] = {
+      {AppSel::kLammps, MethodSel::kFlexpath},
+      {AppSel::kLammps, MethodSel::kDataspacesNative},
+      {AppSel::kLaplace, MethodSel::kFlexpath},
+      {AppSel::kLaplace, MethodSel::kDataspacesNative},
+  };
+  std::vector<workflow::Spec> specs;
+  for (const auto& [app, method] : kRows) {
+    workflow::Spec spec = compare_spec(app, method, nsim, nana);
+    specs.push_back(spec);
+    spec.transport = workflow::Spec::Transport::kSockets;
+    specs.push_back(spec);
+  }
   {
+    // Beyond (1024,512) the socket runs cannot even connect: every client
+    // holds a descriptor on the staging node and the node's supply runs out
+    // (§III-B5).
     workflow::Spec spec;
     spec.app = AppSel::kLammps;
     spec.method = MethodSel::kDataspacesNative;
@@ -73,9 +85,19 @@ int main() {
     spec.nana = 1024;
     spec.steps = 1;
     spec.transport = workflow::Spec::Transport::kSockets;
-    auto result = workflow::run(spec);
-    std::printf("  DataSpaces sockets at (2048,1024): %s\n",
-                result.failure_summary().c_str());
+    specs.push_back(spec);
   }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (const auto& [app, method] : kRows) {
+    const auto& rdma = results[idx++];
+    const auto& sockets = results[idx++];
+    print_compare(app, method, rdma, sockets);
+  }
+
+  std::printf("\nSocket-descriptor exhaustion beyond (1024,512):\n");
+  std::printf("  DataSpaces sockets at (2048,1024): %s\n",
+              results[idx].failure_summary().c_str());
   return 0;
 }

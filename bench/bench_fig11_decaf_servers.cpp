@@ -16,7 +16,9 @@ int main() {
   std::printf("\nLaplace at (64,32) on titan\n");
   std::printf("%-10s %18s %14s\n", "servers", "peak mem/server", "end-to-end");
   double mem8 = 0, t8 = 0, mem64 = 0, t64 = 0;
-  for (int servers : {8, 16, 32, 64}) {
+  const int kServers[] = {8, 16, 32, 64};
+  std::vector<workflow::Spec> specs;
+  for (int servers : kServers) {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kLaplace;
     spec.method = workflow::MethodSel::kDecaf;
@@ -29,7 +31,13 @@ int main() {
     // servers.
     spec.laplace_rows = 2048;
     spec.laplace_cols_per_proc = 2048;
-    auto result = workflow::run(spec);
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (int servers : kServers) {
+    const auto& result = results[idx++];
     if (!result.ok) {
       std::printf("%-10d %18s\n", servers, result.failure_summary().c_str());
       continue;

@@ -20,7 +20,9 @@ int main() {
               "staging (write)", "staging (read)");
   double first_e2e = -1, first_staging = -1;
   double last_e2e = 0, last_staging = 0;
-  for (int servers : {2, 4, 8, 16}) {
+  const int kServers[] = {2, 4, 8, 16};
+  std::vector<workflow::Spec> specs;
+  for (int servers : kServers) {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kLaplace;
     spec.method = workflow::MethodSel::kDataspacesNative;
@@ -32,7 +34,13 @@ int main() {
     spec.transport = workflow::Spec::Transport::kSockets;
     spec.laplace_rows = 4096;
     spec.laplace_cols_per_proc = 512;  // 16 MB/proc
-    auto result = workflow::run(spec);
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (int servers : kServers) {
+    const auto& result = results[idx++];
     if (!result.ok) {
       std::printf("%-10d %14s\n", servers, result.failure_summary().c_str());
       continue;

@@ -16,7 +16,7 @@ using workflow::MethodSel;
 
 namespace {
 
-void compare(AppSel app, MethodSel method) {
+workflow::Spec separate_spec(AppSel app, MethodSel method) {
   workflow::Spec spec;
   spec.app = app;
   spec.method = method;
@@ -31,8 +31,11 @@ void compare(AppSel app, MethodSel method) {
   spec.ranks_per_node = 16;
   spec.servers_per_node = 1;
   spec.compute_scale = 0.2;
-  auto separate = workflow::run(spec);
+  return spec;
+}
 
+workflow::Spec shared_spec(AppSel app, MethodSel method) {
+  workflow::Spec spec = separate_spec(app, method);
   spec.shared_node_mode = true;
   // §III-B7: DataSpaces cannot reuse the DRC credential across the two
   // jobs on a node, so the shared runs use sockets; Flexpath uses the
@@ -40,8 +43,12 @@ void compare(AppSel app, MethodSel method) {
   spec.transport = (method == MethodSel::kFlexpath)
                        ? workflow::Spec::Transport::kSharedMemory
                        : workflow::Spec::Transport::kSockets;
-  auto shared = workflow::run(spec);
+  return spec;
+}
 
+void print_compare(AppSel app, MethodSel method,
+                   const workflow::RunResult& separate,
+                   const workflow::RunResult& shared) {
   std::printf("%-12s %-18s", std::string(to_string(app)).c_str(),
               std::string(to_string(method)).c_str());
   if (separate.ok && shared.ok) {
@@ -62,12 +69,19 @@ int main() {
   bench::print_banner("Figure 13", "shared-node mode on Cori");
   std::printf("\n%-12s %-18s %12s %12s %10s\n", "workflow", "method",
               "separate (s)", "shared (s)", "gain");
-  compare(AppSel::kLammps, MethodSel::kFlexpath);
-  compare(AppSel::kLaplace, MethodSel::kFlexpath);
-  compare(AppSel::kLammps, MethodSel::kDataspacesNative);
-  compare(AppSel::kLaplace, MethodSel::kDataspacesNative);
-
-  std::printf("\nPolicy gates (§III-B7):\n");
+  // Separate + shared pairs per row, plus the three §III-B7 policy-gate
+  // probes, all fanned out on the sweep pool.
+  const std::pair<AppSel, MethodSel> kRows[] = {
+      {AppSel::kLammps, MethodSel::kFlexpath},
+      {AppSel::kLaplace, MethodSel::kFlexpath},
+      {AppSel::kLammps, MethodSel::kDataspacesNative},
+      {AppSel::kLaplace, MethodSel::kDataspacesNative},
+  };
+  std::vector<workflow::Spec> specs;
+  for (const auto& [app, method] : kRows) {
+    specs.push_back(separate_spec(app, method));
+    specs.push_back(shared_spec(app, method));
+  }
   {
     workflow::Spec spec;
     spec.app = AppSel::kLammps;
@@ -76,9 +90,7 @@ int main() {
     spec.nsim = 32;
     spec.nana = 16;
     spec.shared_node_mode = true;
-    auto result = workflow::run(spec);
-    std::printf("  Titan, shared mode:        %s\n",
-                result.failure_summary().c_str());
+    specs.push_back(spec);
   }
   {
     workflow::Spec spec;
@@ -88,9 +100,7 @@ int main() {
     spec.nsim = 32;
     spec.nana = 16;
     spec.shared_node_mode = true;
-    auto result = workflow::run(spec);
-    std::printf("  Decaf on Cori, shared:     %s\n",
-                result.failure_summary().c_str());
+    specs.push_back(spec);
   }
   {
     // DRC refuses a second job's credential on a shared node unless
@@ -103,9 +113,23 @@ int main() {
     spec.nana = 16;
     spec.shared_node_mode = true;
     spec.transport = workflow::Spec::Transport::kRdma;
-    auto result = workflow::run(spec);
-    std::printf("  DataSpaces shared w/ RDMA: %s\n",
-                result.failure_summary().c_str());
+    specs.push_back(spec);
   }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (const auto& [app, method] : kRows) {
+    const auto& separate = results[idx++];
+    const auto& shared = results[idx++];
+    print_compare(app, method, separate, shared);
+  }
+
+  std::printf("\nPolicy gates (§III-B7):\n");
+  std::printf("  Titan, shared mode:        %s\n",
+              results[idx++].failure_summary().c_str());
+  std::printf("  Decaf on Cori, shared:     %s\n",
+              results[idx++].failure_summary().c_str());
+  std::printf("  DataSpaces shared w/ RDMA: %s\n",
+              results[idx++].failure_summary().c_str());
   return 0;
 }

@@ -35,10 +35,11 @@ int main() {
   }
   std::printf("\n");
 
-  for (std::uint64_t n : {256, 512, 1024, 2048, 4096}) {
-    const double mb = static_cast<double>(n * n * 8) / 1e6;
-    std::printf("%4llux%-4llu %5.1fMB", static_cast<unsigned long long>(n),
-                static_cast<unsigned long long>(n), mb);
+  // Size x method grid plus the trailing unmitigated run, fanned out on the
+  // sweep pool; the table prints from the ordered results.
+  const std::uint64_t kSizes[] = {256, 512, 1024, 2048, 4096};
+  std::vector<workflow::Spec> specs;
+  for (std::uint64_t n : kSizes) {
     for (auto method : kMethods) {
       workflow::Spec spec;
       spec.app = workflow::AppSel::kLaplace;
@@ -62,14 +63,9 @@ int main() {
                     method == MethodSel::kDimesNative)) {
         spec.ranks_per_node = 8;
       }
-      auto result = workflow::run(spec);
-      std::printf(" %14s", bench::cell(result).c_str());
-      std::fflush(stdout);
+      specs.push_back(spec);
     }
-    std::printf("\n");
   }
-
-  std::printf("\nWithout the widened deployment the 128 MB point fails:\n");
   {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kLaplace;
@@ -78,9 +74,24 @@ int main() {
     spec.nsim = nsim;
     spec.nana = nana;
     spec.steps = 2;
-    auto result = workflow::run(spec);
-    std::printf("  DataSpaces, default servers: %s\n",
-                result.failure_summary().c_str());
+    specs.push_back(spec);
   }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (std::uint64_t n : kSizes) {
+    const double mb = static_cast<double>(n * n * 8) / 1e6;
+    std::printf("%4llux%-4llu %5.1fMB", static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(n), mb);
+    for ([[maybe_unused]] auto method : kMethods) {
+      std::printf(" %14s", bench::cell(results[idx++]).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nWithout the widened deployment the 128 MB point fails:\n");
+  std::printf("  DataSpaces, default servers: %s\n",
+              results[idx].failure_summary().c_str());
   return 0;
 }

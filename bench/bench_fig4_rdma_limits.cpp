@@ -17,21 +17,32 @@ int main() {
   const auto machine = hpc::titan();
   std::printf("\n%-12s %22s %22s\n", "request", "max concurrent",
               "binding constraint");
-  for (std::uint64_t kib : {4, 16, 64, 128, 256, 512, 1024, 4096, 16384,
-                            65536, 262144}) {
-    hpc::RdmaPool pool(machine.rdma_memory_per_node,
-                       machine.rdma_handlers_per_node);
-    const std::uint64_t size = kib * kKiB;
-    int count = 0;
-    Status last;
-    for (;;) {
-      last = pool.register_memory(size);
-      if (!last.is_ok()) break;
-      ++count;
-    }
+  // Each request size probes its own RdmaPool — independent jobs, fanned
+  // out on the sweep pool and printed in submission order.
+  const std::vector<std::uint64_t> kSizesKib = {
+      4, 16, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144};
+  std::vector<std::function<std::pair<int, ErrorCode>()>> jobs;
+  for (std::uint64_t kib : kSizesKib) {
+    jobs.emplace_back([kib, &machine] {
+      hpc::RdmaPool pool(machine.rdma_memory_per_node,
+                         machine.rdma_handlers_per_node);
+      const std::uint64_t size = kib * kKiB;
+      int count = 0;
+      Status last;
+      for (;;) {
+        last = pool.register_memory(size);
+        if (!last.is_ok()) break;
+        ++count;
+      }
+      return std::pair<int, ErrorCode>{count, last.code()};
+    });
+  }
+  const auto results = sweep::Pool().run_ordered(std::move(jobs));
+  for (std::size_t i = 0; i < kSizesKib.size(); ++i) {
+    const auto& [count, code] = results[i];
     std::printf("%8llu KiB %22d %22s\n",
-                static_cast<unsigned long long>(kib), count,
-                std::string(to_string(last.code())).c_str());
+                static_cast<unsigned long long>(kSizesKib[i]), count,
+                std::string(to_string(code)).c_str());
   }
   std::printf("\nCrossover at ~512 KiB (1843 MiB / 3675 handlers = 513 KiB), "
               "as in the paper.\n");

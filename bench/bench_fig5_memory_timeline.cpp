@@ -38,7 +38,7 @@ void print_timeline(const char* label,
   std::printf("  MB\n");
 }
 
-void run_one(AppSel app, MethodSel method) {
+workflow::Spec timeline_spec(AppSel app, MethodSel method) {
   workflow::Spec spec;
   spec.app = app;
   spec.method = method;
@@ -47,9 +47,13 @@ void run_one(AppSel app, MethodSel method) {
   spec.nana = 16;
   spec.steps = 3;
   spec.capture_timelines = true;
-  auto result = workflow::run(spec);
-  std::printf("\n%s via %s: %s\n", std::string(to_string(app)).c_str(),
-              std::string(to_string(method)).c_str(),
+  return spec;
+}
+
+void print_one(const workflow::Spec& spec,
+               const workflow::RunResult& result) {
+  std::printf("\n%s via %s: %s\n", std::string(to_string(spec.app)).c_str(),
+              std::string(to_string(spec.method)).c_str(),
               result.ok ? "ok" : result.failure_summary().c_str());
   if (!result.ok) return;
   std::printf("  %-12s", "t/end:");
@@ -71,13 +75,18 @@ void run_one(AppSel app, MethodSel method) {
 int main() {
   bench::print_banner("Figure 5",
                       "memory-usage timelines per component (Cori)");
+  std::vector<workflow::Spec> specs;
   for (auto method :
        {MethodSel::kDataspacesAdios, MethodSel::kDimesAdios,
         MethodSel::kFlexpath, MethodSel::kDecaf}) {
-    run_one(AppSel::kLammps, method);
+    specs.push_back(timeline_spec(AppSel::kLammps, method));
   }
   for (auto method : {MethodSel::kDataspacesAdios, MethodSel::kDecaf}) {
-    run_one(AppSel::kLaplace, method);
+    specs.push_back(timeline_spec(AppSel::kLaplace, method));
+  }
+  const auto results = bench::run_all(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    print_one(specs[i], results[i]);
   }
   std::printf("\nPaper checkpoints: LAMMPS clients ~400 MB "
               "(173 MB calculation + ~227 MB library) for DataSpaces/DIMES/"

@@ -24,7 +24,10 @@ int main() {
   std::printf("%-18s %16s %16s %16s %16s\n", "size/proc", "DS server (GB)",
               "DS index (GB)", "DS staged (GB)", "DIMES server (GB)");
 
-  for (std::uint64_t cols : {256, 512, 1024, 2048, 4096}) {
+  // DS + DIMES pairs for every size, fanned out together.
+  const std::uint64_t kCols[] = {256, 512, 1024, 2048, 4096};
+  std::vector<workflow::Spec> specs;
+  for (std::uint64_t cols : kCols) {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kLaplace;
     spec.method = MethodSel::kDataspacesNative;
@@ -36,11 +39,18 @@ int main() {
     spec.steps = 2;
     spec.laplace_rows = 4096;
     spec.laplace_cols_per_proc = cols;
-    auto ds = workflow::run(spec);
+    specs.push_back(spec);
 
     spec.method = MethodSel::kDimesNative;
     spec.num_servers = 4;
-    auto dimes = workflow::run(spec);
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (std::uint64_t cols : kCols) {
+    const auto& ds = results[idx++];
+    const auto& dimes = results[idx++];
 
     const double mb = static_cast<double>(4096 * cols * 8) / 1e6;
     std::printf("4096x%-6llu %4.0fMB", static_cast<unsigned long long>(cols),

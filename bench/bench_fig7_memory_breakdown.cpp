@@ -15,7 +15,7 @@ using workflow::MethodSel;
 
 namespace {
 
-void breakdown(MethodSel method, int num_servers) {
+workflow::Spec breakdown_spec(MethodSel method, int num_servers) {
   workflow::Spec spec;
   spec.app = workflow::AppSel::kLaplace;
   spec.method = method;
@@ -28,9 +28,14 @@ void breakdown(MethodSel method, int num_servers) {
   // breakdown ratios are size-independent.
   spec.laplace_rows = 2048;
   spec.laplace_cols_per_proc = 2048;
-  auto result = workflow::run(spec);
+  return spec;
+}
+
+void breakdown(const workflow::Spec& spec,
+               const workflow::RunResult& result) {
+  const int num_servers = spec.num_servers;
   std::printf("\n%s (%d staging ranks):%s\n",
-              std::string(to_string(method)).c_str(), num_servers,
+              std::string(to_string(spec.method)).c_str(), num_servers,
               result.ok ? "" : result.failure_summary().c_str());
   if (!result.ok) return;
 
@@ -56,10 +61,16 @@ void breakdown(MethodSel method, int num_servers) {
 
 int main() {
   bench::print_banner("Figure 7", "staging memory breakdown (Laplace)");
-  // DataSpaces: 16 procs per server (the paper's ratio).
-  breakdown(MethodSel::kDataspacesNative, 4);
-  // Decaf: each dataflow rank stages the output of two Laplace procs.
-  breakdown(MethodSel::kDecaf, 32);
+  const std::vector<workflow::Spec> specs = {
+      // DataSpaces: 16 procs per server (the paper's ratio).
+      breakdown_spec(MethodSel::kDataspacesNative, 4),
+      // Decaf: each dataflow rank stages the output of two Laplace procs.
+      breakdown_spec(MethodSel::kDecaf, 32),
+  };
+  const auto results = bench::run_all(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    breakdown(specs[i], results[i]);
+  }
   std::printf("\nPaper checkpoints: DataSpaces total exceeds the raw staged "
               "share due to buffering; Decaf peaks at ~7x raw.\n");
   return 0;

@@ -18,6 +18,8 @@ int main() {
   bench::print_banner("Figure 9", "impact of the data layout (DataSpaces)");
   std::printf("\n%-12s %16s %16s %10s\n", "(sim,ana)", "mismatched (s)",
               "matched (s)", "speedup");
+  // Mismatched + matched pairs for every rung, fanned out together.
+  std::vector<workflow::Spec> specs;
   for (auto [nsim, nana] : bench::scale_ladder()) {
     workflow::Spec spec;
     spec.app = workflow::AppSel::kSynthetic;
@@ -29,9 +31,16 @@ int main() {
     spec.synthetic_elements_per_proc = 2'560'000;  // 20 MB/proc
 
     spec.synthetic_match_layout = false;
-    auto mismatched = workflow::run(spec);
+    specs.push_back(spec);
     spec.synthetic_match_layout = true;
-    auto matched = workflow::run(spec);
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  std::size_t idx = 0;
+  for (auto [nsim, nana] : bench::scale_ladder()) {
+    const auto& mismatched = results[idx++];
+    const auto& matched = results[idx++];
 
     std::printf("(%d,%d)%*s", nsim, nana,
                 nsim >= 1000 ? 1 : (nsim >= 100 ? 3 : 5), "");

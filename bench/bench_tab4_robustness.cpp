@@ -24,6 +24,9 @@ void report(const char* issue, const std::string& observed,
 int main() {
   bench::print_banner("Table IV", "robustness failure injection");
 
+  // All five induced-failure probes fan out on the sweep pool; the reports
+  // print from the ordered results.
+  std::vector<workflow::Spec> specs;
   {
     // Out of RDMA memory: Laplace at 128 MB/proc on Titan, default servers.
     workflow::Spec spec;
@@ -33,12 +36,7 @@ int main() {
     spec.nsim = 64;
     spec.nana = 32;
     spec.steps = 2;
-    auto result = workflow::run(spec);
-    report("Out of RDMA memory (staged data exhausts the 1843 MiB/node "
-           "registered pool)",
-           result.failure_summary(),
-           "better error handling (wait+retry); an indirection layer that "
-           "checks RDMA budgets in advance");
+    specs.push_back(spec);
   }
   {
     // Data dimension overflow: 32-bit dimension arithmetic.
@@ -51,14 +49,7 @@ int main() {
     spec.steps = 1;
     spec.lammps_atoms_per_proc = 60'000'000;  // 5*16*60e6 > 2^32 elements
     spec.use_32bit_dims = true;
-    auto result = workflow::run(spec);
-    std::string observed = result.failure_summary();
-    for (const auto& f : result.failures) {
-      if (f.find("DIMENSION_OVERFLOW") != std::string::npos) observed = f;
-    }
-    report("Data dimension overflow (32-bit element counts)", observed,
-           "switch to 64-bit unsigned long int (the fixed build accepts the "
-           "same geometry)");
+    specs.push_back(spec);
   }
   {
     // Out of main memory: Decaf's 7x pipeline on Titan's 32 GB nodes.
@@ -71,11 +62,7 @@ int main() {
     spec.num_servers = 16;  // few dataflow ranks -> big per-rank share
     spec.steps = 1;
     spec.laplace_cols_per_proc = 8192;  // 256 MB/proc: 7x share > node DRAM
-    auto result = workflow::run(spec);
-    report("Out of main memory (Decaf's ~7x data-model footprint)",
-           result.failure_summary(),
-           "profile memory to size allocations; free pipeline stages "
-           "eagerly");
+    specs.push_back(spec);
   }
   {
     // Out of sockets: many clients per staging node.
@@ -88,12 +75,7 @@ int main() {
     spec.nana = 128;
     spec.steps = 1;
     spec.transport = workflow::Spec::Transport::kSockets;
-    auto result = workflow::run(spec);
-    report("Out of sockets (descriptors depleted on the staging node; "
-           "cap lowered to 512 to induce at bench scale)",
-           result.failure_summary(),
-           "restructure communication so each reader contacts few "
-           "processors, or pool sockets (at an efficiency cost)");
+    specs.push_back(spec);
   }
   {
     // Out of DRC: parallel credential requests overwhelm the service.
@@ -105,14 +87,39 @@ int main() {
     spec.nsim = 256;
     spec.nana = 128;
     spec.steps = 1;
-    auto result = workflow::run(spec);
-    report("Out of DRC (credential service overwhelmed at startup; capacity "
-           "lowered to 128 to induce at bench scale — the real service "
-           "fails at the paper's (8192,4096))",
-           result.failure_summary(),
-           "an indirection layer that meters DRC requests, or a distributed "
-           "credential service");
+    specs.push_back(spec);
   }
+  const auto results = bench::run_all(specs);
+
+  report("Out of RDMA memory (staged data exhausts the 1843 MiB/node "
+         "registered pool)",
+         results[0].failure_summary(),
+         "better error handling (wait+retry); an indirection layer that "
+         "checks RDMA budgets in advance");
+  {
+    std::string observed = results[1].failure_summary();
+    for (const auto& f : results[1].failures) {
+      if (f.find("DIMENSION_OVERFLOW") != std::string::npos) observed = f;
+    }
+    report("Data dimension overflow (32-bit element counts)", observed,
+           "switch to 64-bit unsigned long int (the fixed build accepts the "
+           "same geometry)");
+  }
+  report("Out of main memory (Decaf's ~7x data-model footprint)",
+         results[2].failure_summary(),
+         "profile memory to size allocations; free pipeline stages "
+         "eagerly");
+  report("Out of sockets (descriptors depleted on the staging node; "
+         "cap lowered to 512 to induce at bench scale)",
+         results[3].failure_summary(),
+         "restructure communication so each reader contacts few "
+         "processors, or pool sockets (at an efficiency cost)");
+  report("Out of DRC (credential service overwhelmed at startup; capacity "
+         "lowered to 128 to induce at bench scale — the real service "
+         "fails at the paper's (8192,4096))",
+         results[4].failure_summary(),
+         "an indirection layer that meters DRC requests, or a distributed "
+         "credential service");
 
   std::printf("\nEvery failure surfaces as a typed Status the application "
               "can observe — unlike the 'ugly crashes' the paper reports, "

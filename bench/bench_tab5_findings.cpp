@@ -12,10 +12,9 @@ using workflow::MethodSel;
 int main() {
   bench::print_banner("Table V", "qualitative finding-relevance matrix");
 
-  // Probe F1/F3: layout-mismatch degradation is a DataSpaces property (its
-  // longest-dimension region cut); DIMES metadata servers do not stage
-  // data, Flexpath/Decaf redistribute writer-side.
-  double ds_ratio = 0;
+  // The four probe runs fan out on the sweep pool: F1/F3 layout pair, then
+  // the F2 Decaf and DataSpaces amplification runs.
+  std::vector<workflow::Spec> specs;
   {
     workflow::Spec spec;
     spec.app = AppSel::kSynthetic;
@@ -25,16 +24,10 @@ int main() {
     spec.nana = 32;
     spec.num_servers = 8;
     spec.steps = 2;
-    auto mismatched = workflow::run(spec);
+    specs.push_back(spec);
     spec.synthetic_match_layout = true;
-    auto matched = workflow::run(spec);
-    if (mismatched.ok && matched.ok) {
-      ds_ratio = mismatched.sim_staging / matched.sim_staging;
-    }
+    specs.push_back(spec);
   }
-
-  // Probe F2: staging-memory amplification vs raw share.
-  double decaf_amp = 0, ds_amp = 0;
   {
     workflow::Spec spec;
     spec.app = AppSel::kLaplace;
@@ -46,13 +39,33 @@ int main() {
     spec.steps = 2;
     spec.laplace_rows = 1024;
     spec.laplace_cols_per_proc = 1024;
-    auto decaf = workflow::run(spec);
+    specs.push_back(spec);
+    spec.method = MethodSel::kDataspacesNative;
+    spec.num_servers = 2;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  // Probe F1/F3: layout-mismatch degradation is a DataSpaces property (its
+  // longest-dimension region cut); DIMES metadata servers do not stage
+  // data, Flexpath/Decaf redistribute writer-side.
+  double ds_ratio = 0;
+  {
+    const auto& mismatched = results[0];
+    const auto& matched = results[1];
+    if (mismatched.ok && matched.ok) {
+      ds_ratio = mismatched.sim_staging / matched.sim_staging;
+    }
+  }
+
+  // Probe F2: staging-memory amplification vs raw share.
+  double decaf_amp = 0, ds_amp = 0;
+  {
+    const auto& decaf = results[2];
     const double raw =
         16.0 * 1024 * 1024 * 8 / 8;  // per dataflow rank share
     if (decaf.ok) decaf_amp = static_cast<double>(decaf.server_peak) / raw;
-    spec.method = MethodSel::kDataspacesNative;
-    spec.num_servers = 2;
-    auto ds = workflow::run(spec);
+    const auto& ds = results[3];
     const double ds_raw = 16.0 * 1024 * 1024 * 8 / 2;
     if (ds.ok) {
       ds_amp = static_cast<double>(

@@ -3,21 +3,41 @@
 // Each bench prints the rows/series of one paper artifact. Default sweeps
 // are sized to finish in seconds on one core; set IMC_FULL_SCALE=1 to run
 // the paper's full processor counts (minutes).
+//
+// Independent runs fan out across IMC_THREADS worker threads (sweep::Pool):
+// a bench first collects the Specs of a ladder, runs them all with
+// run_all(), then prints from the ordered results — so stdout is
+// byte-identical at every thread count and the per-bench sha256
+// fingerprints in BENCH_perf.json never move.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/env.h"
 #include "common/units.h"
+#include "sweep/sweep.h"
 #include "workflow/workflow.h"
 
 namespace imc::bench {
 
 inline bool full_scale() {
-  const char* env = std::getenv("IMC_FULL_SCALE");
-  return env != nullptr && env[0] == '1';
+  return env::flag_or_die("IMC_FULL_SCALE", false);
+}
+
+// Runs every spec through workflow::run on the sweep pool and returns the
+// results in submission order.
+inline std::vector<workflow::RunResult> run_all(
+    const std::vector<workflow::Spec>& specs) {
+  std::vector<std::function<workflow::RunResult()>> jobs;
+  jobs.reserve(specs.size());
+  for (const auto& spec : specs) {
+    jobs.emplace_back([&spec] { return workflow::run(spec); });
+  }
+  return sweep::Pool().run_ordered(std::move(jobs));
 }
 
 // (nsim, nana) ladder from the paper's x-axis (Fig. 2). Default stops at
@@ -40,6 +60,9 @@ inline const char* header_rule() {
 }
 
 inline void print_banner(const char* artifact, const char* description) {
+  // Validate the env knobs up front: a garbage IMC_THREADS must fail the
+  // bench at startup even if it never fans a sweep out.
+  (void)sweep::default_threads();
   std::printf("%s\n", header_rule());
   std::printf("%s — %s\n", artifact, description);
   std::printf("(default sweep%s; IMC_FULL_SCALE=1 for the paper's full "

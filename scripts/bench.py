@@ -12,6 +12,12 @@ metrics), so the hash doubles as a fingerprint of the simulated results —
 a perf-only change must keep every stdout_sha256 stable while moving only
 wall_seconds.
 
+The full mode runs every scenario twice — IMC_THREADS=1 (the sequential
+path) and IMC_THREADS=N (the sweep pool) — asserts the stdout hashes are
+byte-identical, and records both wall-clocks plus the derived sweep
+speedup. Smoke mode runs once under whatever IMC_THREADS the caller set
+(recorded in the report) so CI can diff the hashes across thread counts.
+
 Modes:
   full (default)   all benches; writes BENCH_perf.json at the repo root
   --smoke          CI gate: hot-path microbenches + two fast scenarios,
@@ -119,20 +125,25 @@ def derive(micro):
     return derived
 
 
-def run_scenarios(build_dir, names, timeout):
+def run_scenarios(build_dir, names, timeout, threads=None):
+    """Runs each scenario bench; threads pins IMC_THREADS for the run."""
+    env = dict(os.environ)
+    if threads is not None:
+        env["IMC_THREADS"] = str(threads)
+    label = f" [IMC_THREADS={threads}]" if threads is not None else ""
     results = {}
     for name in names:
         path = os.path.join(build_dir, "bench", name)
         start = time.monotonic()
         proc = run([path], stdout=subprocess.PIPE,
-                   stderr=subprocess.DEVNULL, timeout=timeout)
+                   stderr=subprocess.DEVNULL, timeout=timeout, env=env)
         elapsed = time.monotonic() - start
         results[name] = {
             "wall_seconds": round(elapsed, 3),
             "stdout_sha256": hashlib.sha256(proc.stdout).hexdigest(),
             "stdout_lines": proc.stdout.count(b"\n"),
         }
-        print(f"  {name}: {elapsed:.2f}s, "
+        print(f"  {name}{label}: {elapsed:.2f}s, "
               f"{results[name]['stdout_lines']} lines", flush=True)
     return results
 
@@ -159,13 +170,45 @@ def main():
                         args.jobs)
     micro = run_micro(args.build_dir, args.smoke, per_bench_timeout)
     derived = derive(micro)
-    scenario_results = run_scenarios(args.build_dir, scenarios,
-                                     per_bench_timeout)
+
+    if args.smoke:
+        # One pass under the caller's IMC_THREADS (recorded below so CI can
+        # run the gate at several thread counts and diff the hashes).
+        scenario_results = run_scenarios(args.build_dir, scenarios,
+                                         per_bench_timeout)
+        sweep_threads = os.environ.get("IMC_THREADS", "default")
+    else:
+        # Sequential pass then sweep-pool pass; stdout must be
+        # byte-identical (the determinism contract of src/sweep/) and the
+        # wall-clock ratio is the measured sweep speedup.
+        sweep_threads = min(8, max(2, os.cpu_count() or 2))
+        scenario_results = run_scenarios(args.build_dir, scenarios,
+                                         per_bench_timeout, threads=1)
+        threaded = run_scenarios(args.build_dir, scenarios,
+                                 per_bench_timeout, threads=sweep_threads)
+        mismatched = [n for n in scenarios
+                      if scenario_results[n]["stdout_sha256"]
+                      != threaded[n]["stdout_sha256"]]
+        if mismatched:
+            print(f"FAIL: stdout differs between IMC_THREADS=1 and "
+                  f"IMC_THREADS={sweep_threads}: {mismatched}",
+                  file=sys.stderr)
+            return 1
+        seq_total = sum(scenario_results[n]["wall_seconds"]
+                        for n in scenarios)
+        par_total = sum(threaded[n]["wall_seconds"] for n in scenarios)
+        for name in scenarios:
+            scenario_results[name]["wall_seconds_threaded"] = \
+                threaded[name]["wall_seconds"]
+        derived["sweep_threads"] = sweep_threads
+        derived["sweep_speedup"] = round(seq_total / par_total, 2) \
+            if par_total > 0 else 0.0
 
     report = {
         "schema": "imc-bench-perf-v1",
         "mode": "smoke" if args.smoke else "full",
         "build_type": "Release",
+        "sweep_threads": sweep_threads,
         "derived": derived,
         "micro": micro,
         "scenarios": scenario_results,

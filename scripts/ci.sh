@@ -42,11 +42,46 @@ else
   echo "==> clang-tidy not installed; skipping (gcc-only toolchain)"
 fi
 
+# ThreadSanitizer pass over the sweep pool: the scenario fan-out and the
+# determinism harness run their worker threads under TSan, which would flag
+# any cross-world shared state the per-thread bindings missed.
+echo "==> TSan (sweep + check tests)"
+tsan_build="$repo/build-tsan"
+cmake -B "$tsan_build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DIMC_CHECK=ON \
+  -DIMC_SANITIZE="thread" \
+  ${CMAKE_GENERATOR:+-G "$CMAKE_GENERATOR"}
+cmake --build "$tsan_build" -j "$(nproc)" --target test_sweep test_check
+IMC_THREADS=8 "$tsan_build/tests/test_sweep"
+IMC_THREADS=8 "$tsan_build/tests/test_check"
+
 # Release-mode bench smoke: builds the benches without sanitizers, runs the
 # hot-path microbench subset plus two fast scenarios, and asserts the run
 # emits valid JSON with every derived speedup present. Time-bounded by the
 # reduced --benchmark_min_time and per-bench timeouts inside bench.py.
-echo "==> bench smoke (Release, scripts/bench.py --smoke)"
-python3 "$repo/scripts/bench.py" --smoke --build-dir "$repo/build-bench-smoke"
+# The gate runs twice — sequential and on the sweep pool — and the scenario
+# stdout hashes must not depend on the thread count.
+echo "==> bench smoke (Release, scripts/bench.py --smoke, IMC_THREADS=1)"
+IMC_THREADS=1 python3 "$repo/scripts/bench.py" --smoke \
+  --build-dir "$repo/build-bench-smoke" \
+  --out "$repo/build-bench-smoke/BENCH_smoke_t1.json"
+
+echo "==> bench smoke (Release, scripts/bench.py --smoke, IMC_THREADS=2)"
+IMC_THREADS=2 python3 "$repo/scripts/bench.py" --smoke \
+  --build-dir "$repo/build-bench-smoke" \
+  --out "$repo/build-bench-smoke/BENCH_smoke_t2.json"
+
+echo "==> bench smoke: diff stdout hashes across thread counts"
+python3 - "$repo/build-bench-smoke/BENCH_smoke_t1.json" \
+          "$repo/build-bench-smoke/BENCH_smoke_t2.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p))["scenarios"] for p in sys.argv[1:3])
+bad = [n for n in a if a[n]["stdout_sha256"] != b[n]["stdout_sha256"]]
+if bad:
+    sys.exit(f"FAIL: scenario stdout depends on IMC_THREADS: {bad}")
+print("stdout hashes identical at IMC_THREADS=1 and 2:",
+      ", ".join(sorted(a)))
+EOF
 
 echo "==> CI OK"

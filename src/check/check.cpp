@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sweep/sweep.h"
+
 namespace imc::check {
 namespace {
 
@@ -78,13 +80,29 @@ Report run_deterministic(const std::string& name, const Scenario& scenario,
                          const Options& options) {
   Report report;
   std::vector<std::pair<std::string, Outcome>> baselines;
+  const int repeats = std::max(1, options.repeats);
 
+  // Every (schedule, repeat) run is independent — fan the whole grid out on
+  // the sweep pool and compare afterwards. Results come back in submission
+  // order, so the comparisons (and the report they produce) are identical
+  // at every thread count.
+  std::vector<std::function<Outcome()>> jobs;
+  jobs.reserve(options.schedules.size() * static_cast<std::size_t>(repeats));
+  for (const auto& schedule : options.schedules) {
+    for (int rep = 0; rep < repeats; ++rep) {
+      jobs.emplace_back(
+          [&scenario, &schedule] { return scenario(schedule); });
+    }
+  }
+  std::vector<Outcome> outcomes =
+      sweep::Pool(options.threads).run_ordered(std::move(jobs));
+
+  std::size_t cursor = 0;
   for (const auto& schedule : options.schedules) {
     const std::string label = schedule_label(schedule);
     Outcome base;
-    const int repeats = std::max(1, options.repeats);
     for (int rep = 0; rep < repeats; ++rep) {
-      Outcome out = scenario(schedule);
+      Outcome out = std::move(outcomes[cursor++]);
       if (rep == 0) {
         base = std::move(out);
         continue;

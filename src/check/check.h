@@ -39,7 +39,12 @@ struct Outcome {
 };
 
 // A scenario builds a fresh world under the given schedule, runs it, and
-// reports what it observed.
+// reports what it observed. The schedules x repeats grid fans out across
+// the sweep pool (src/sweep/), so a scenario must be safe to invoke
+// concurrently from several threads — true by construction when each call
+// builds its own engine and world. A scenario that deliberately keeps
+// cross-run state (e.g. a fixture emulating hidden nondeterminism) must
+// pin Options::threads to 1.
 using Scenario = std::function<Outcome(const sim::Schedule&)>;
 
 struct Options {
@@ -50,6 +55,7 @@ struct Options {
   };
   int repeats = 2;               // runs per schedule (digest reproducibility)
   double rel_tolerance = 1e-9;   // for Outcome::metrics
+  int threads = 0;               // sweep width; 0: sweep::default_threads()
 };
 
 struct Report {

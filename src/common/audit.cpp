@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/env.h"
+
 namespace imc::audit {
 
 std::string_view to_string(Resource r) {
@@ -83,9 +85,28 @@ void Auditor::reset() {
   violations_.clear();
 }
 
+namespace {
+
+// Innermost ScopedAuditor binding on this thread; null outside any scope.
+thread_local Auditor* t_bound = nullptr;
+
+}  // namespace
+
 Auditor& global() {
-  static Auditor auditor;
-  return auditor;
+  if (t_bound != nullptr) return *t_bound;
+  static Auditor process_wide;
+  return process_wide;
+}
+
+ScopedAuditor::ScopedAuditor(Auditor& auditor) : previous_(t_bound) {
+  t_bound = &auditor;
+}
+
+ScopedAuditor::~ScopedAuditor() { t_bound = previous_; }
+
+bool runtime_enabled() {
+  static const bool enabled = env::flag_or_die("IMC_CHECK", true);
+  return enabled;
 }
 
 }  // namespace imc::audit

@@ -6,9 +6,15 @@
 // scenario teardown anything still outstanding is a leak — the simulated
 // analogue of the memory-growth failure modes the paper documents (F4/F8).
 //
-// The auditor is process-global (the simulator is single-threaded) and is
-// reset at the start of every workflow::run. All hooks compile to no-ops
-// when the IMC_CHECK CMake option is off.
+// Each simulated world is single-threaded, but the sweep layer (see
+// src/sweep/) runs many worlds concurrently on worker threads, so "the"
+// auditor is a thread-local binding: workflow::run (and every sweep job)
+// binds a fresh per-world Auditor via ScopedAuditor for its duration, and
+// the instrumentation hooks resolve global() to whatever is bound on the
+// calling thread. With no binding, global() falls back to a process-wide
+// auditor (direct API use outside any run). All hooks compile to no-ops
+// when the IMC_CHECK CMake option is off, and become runtime no-ops when
+// the IMC_CHECK *environment variable* is set to 0.
 #pragma once
 
 #include <cstdint>
@@ -55,8 +61,29 @@ class Auditor {
   std::vector<std::string> violations_;
 };
 
-// The global auditor used by all instrumentation hooks.
+// The auditor used by all instrumentation hooks: the innermost Auditor
+// bound on this thread via ScopedAuditor, else the process-wide fallback.
 Auditor& global();
+
+// Binds `auditor` as this thread's audit target for the scope's lifetime.
+// Bindings nest (the previous one is restored on destruction), keeping
+// IMC_CHECK leak ledgers attributed to the right world when scenario sweeps
+// run on a thread pool.
+class ScopedAuditor {
+ public:
+  explicit ScopedAuditor(Auditor& auditor);
+  ~ScopedAuditor();
+  ScopedAuditor(const ScopedAuditor&) = delete;
+  ScopedAuditor& operator=(const ScopedAuditor&) = delete;
+
+ private:
+  Auditor* previous_;
+};
+
+// Runtime gate: IMC_CHECK=0 in the environment disables the (compiled-in)
+// instrumentation hooks; unset or IMC_CHECK=1 leaves them on. Parsed once
+// on first use; garbage values terminate with a clear error.
+bool runtime_enabled();
 
 // Guarded entry points — call these from instrumented code, never
 // Auditor methods directly, so the whole layer disappears under
@@ -64,7 +91,7 @@ Auditor& global();
 inline void acquire(Resource r, const std::string& owner,
                     std::uint64_t n = 1) {
 #if IMC_CHECK_ENABLED
-  global().acquire(r, owner, n);
+  if (runtime_enabled()) global().acquire(r, owner, n);
 #else
   (void)r;
   (void)owner;
@@ -75,7 +102,7 @@ inline void acquire(Resource r, const std::string& owner,
 inline void release(Resource r, const std::string& owner,
                     std::uint64_t n = 1) {
 #if IMC_CHECK_ENABLED
-  global().release(r, owner, n);
+  if (runtime_enabled()) global().release(r, owner, n);
 #else
   (void)r;
   (void)owner;
@@ -85,7 +112,7 @@ inline void release(Resource r, const std::string& owner,
 
 inline void violation(const std::string& what) {
 #if IMC_CHECK_ENABLED
-  global().violation(what);
+  if (runtime_enabled()) global().violation(what);
 #else
   (void)what;
 #endif

@@ -1,0 +1,68 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace imc::env {
+namespace {
+
+[[noreturn]] void die(const Status& status) {
+  std::fprintf(stderr, "imc: %s\n", status.message().c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Result<bool> parse_flag(const char* name, const char* value, bool fallback) {
+  if (value == nullptr || value[0] == '\0') return fallback;
+  if (std::strcmp(value, "0") == 0) return false;
+  if (std::strcmp(value, "1") == 0) return true;
+  return make_error(ErrorCode::kInvalidArgument,
+                    std::string(name) + "=\"" + value +
+                        "\" is not a valid flag; set " + name + "=0 or " +
+                        name + "=1 (or unset it)");
+}
+
+Result<long long> parse_int(const char* name, const char* value,
+                            long long fallback, long long min,
+                            long long max) {
+  if (value == nullptr || value[0] == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      std::string(name) + "=\"" + value +
+                          "\" is not an integer; expected a base-10 value "
+                          "in [" +
+                          std::to_string(min) + ", " + std::to_string(max) +
+                          "]");
+  }
+  if (parsed < min || parsed > max) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      std::string(name) + "=" + value +
+                          " is out of range; expected [" +
+                          std::to_string(min) + ", " + std::to_string(max) +
+                          "]");
+  }
+  return parsed;
+}
+
+bool flag_or_die(const char* name, bool fallback) {
+  Result<bool> parsed = parse_flag(name, std::getenv(name), fallback);
+  if (!parsed.has_value()) die(parsed.status());
+  return parsed.value();
+}
+
+long long int_or_die(const char* name, long long fallback, long long min,
+                     long long max) {
+  Result<long long> parsed =
+      parse_int(name, std::getenv(name), fallback, min, max);
+  if (!parsed.has_value()) die(parsed.status());
+  return parsed.value();
+}
+
+}  // namespace imc::env

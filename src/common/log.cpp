@@ -1,11 +1,17 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace imc {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so a sweep worker reading the level never races a test adjusting
+// it; ordering is irrelevant (the level is advisory).
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Innermost ScopedLogBuffer bound on this thread; null -> write to stderr.
+thread_local ScopedLogBuffer* t_buffer = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,12 +31,35 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  if (t_buffer != nullptr) {
+    t_buffer->buffer_.append("[");
+    t_buffer->buffer_.append(level_name(level));
+    t_buffer->buffer_.append("] ");
+    t_buffer->buffer_.append(msg);
+    t_buffer->buffer_.push_back('\n');
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+ScopedLogBuffer::ScopedLogBuffer() : previous_(t_buffer) { t_buffer = this; }
+
+ScopedLogBuffer::~ScopedLogBuffer() { t_buffer = previous_; }
+
+void write_log_output(const std::string& text) {
+  if (text.empty()) return;
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace imc

@@ -1,5 +1,11 @@
 // Minimal leveled logger. Benches run with logging off by default; tests can
 // raise the level to debug a failing scenario.
+//
+// Sinks: by default every message goes straight to stderr. A thread that
+// binds a ScopedLogBuffer captures its messages instead — the sweep layer
+// (src/sweep/) binds one around every job so warnings emitted mid-scenario
+// can be flushed in submission order next to that scenario's results rather
+// than interleaving across worker threads.
 #pragma once
 
 #include <sstream>
@@ -12,6 +18,31 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 LogLevel log_level();
 void set_log_level(LogLevel level);
 void log_message(LogLevel level, const std::string& msg);
+
+// While alive, log output on this thread is appended to this buffer instead
+// of being written to stderr. Bindings nest: the innermost buffer captures.
+// The destructor unbinds without flushing; call take() (then
+// write_log_output) to emit what was captured.
+class ScopedLogBuffer {
+ public:
+  ScopedLogBuffer();
+  ~ScopedLogBuffer();
+  ScopedLogBuffer(const ScopedLogBuffer&) = delete;
+  ScopedLogBuffer& operator=(const ScopedLogBuffer&) = delete;
+
+  // Drains the captured bytes (formatted lines, newline-terminated).
+  std::string take() { return std::move(buffer_); }
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  friend void log_message(LogLevel, const std::string&);
+  std::string buffer_;
+  ScopedLogBuffer* previous_;
+};
+
+// Writes previously captured log bytes to the real sink (stderr). Exposed
+// so the sweep pool can flush per-job buffers in submission order.
+void write_log_output(const std::string& text);
 
 namespace detail {
 

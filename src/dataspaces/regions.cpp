@@ -31,8 +31,10 @@ std::vector<nda::Box> staging_regions(const nda::Dims& global,
 const RegionSet& staging_regions_cached(const nda::Dims& global,
                                         int num_servers) {
   // std::map keeps node addresses stable, so returned references survive
-  // later insertions. Simulations are single-threaded by construction.
-  static std::map<std::pair<nda::Dims, int>, RegionSet> cache;
+  // later insertions. Each world runs on one thread, but sweep workers run
+  // worlds concurrently, and the cached BoxIndex mutates lazily on query —
+  // so the memo is per-thread (duplicated across workers, never contended).
+  thread_local std::map<std::pair<nda::Dims, int>, RegionSet> cache;
   auto [it, inserted] = cache.try_emplace({global, num_servers});
   if (inserted) {
     it->second.boxes = staging_regions(global, num_servers);

@@ -1,0 +1,97 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/audit.h"
+#include "common/env.h"
+#include "common/log.h"
+
+namespace imc::sweep {
+namespace {
+
+// Runs one job under per-world isolation: a fresh auditor bound to this
+// thread and a buffered log sink. Returns the captured log bytes; a thrown
+// exception is left for the caller to record.
+template <typename Job>
+std::string run_isolated(const Job& job) {
+  audit::Auditor auditor;
+  audit::ScopedAuditor audit_scope(auditor);
+  ScopedLogBuffer log_buffer;
+  try {
+    job();
+  } catch (...) {
+    write_log_output(log_buffer.take());
+    throw;
+  }
+  return log_buffer.take();
+}
+
+}  // namespace
+
+int default_threads() {
+  static const int value = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(
+        env::int_or_die("IMC_THREADS", hw == 0 ? 1 : hw, 1, 512));
+  }();
+  return value;
+}
+
+Pool::Pool(int threads)
+    : threads_(threads <= 0 ? default_threads() : threads) {}
+
+void Pool::run_indexed(std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t width = std::min(static_cast<std::size_t>(threads_), n);
+
+  if (width <= 1) {
+    // Sequential path: jobs run inline in submission order; each job's log
+    // flushes as soon as it finishes, exceptions propagate immediately.
+    for (std::size_t i = 0; i < n; ++i) {
+      write_log_output(run_isolated([&fn, i] { fn(i); }));
+    }
+    return;
+  }
+
+  std::vector<std::string> logs(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+
+  auto work = [&logs, &errors, &next, &abort, &fn, n] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (abort.load(std::memory_order_acquire)) return;
+      audit::Auditor auditor;
+      audit::ScopedAuditor audit_scope(auditor);
+      ScopedLogBuffer log_buffer;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        abort.store(true, std::memory_order_release);
+      }
+      logs[i] = log_buffer.take();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(width);
+  for (std::size_t w = 0; w < width; ++w) workers.emplace_back(work);
+  // Joining here (success or failure) is what "drains cleanly" means: by
+  // the time control returns to the submitter no worker is running and
+  // every started job has either a result slot or an exception recorded.
+  for (auto& worker : workers) worker.join();
+
+  for (const auto& log : logs) write_log_output(log);
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace imc::sweep

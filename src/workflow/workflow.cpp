@@ -702,9 +702,12 @@ sim::Task<> decaf_consumer(Ctx& ctx, int a) {
 // ---------------------------------------------------------------------------
 
 RunResult run(const Spec& spec) {
-  // Each run starts with a clean resource ledger; whatever is outstanding
+  // Each run audits into its own ledger, bound to this thread for the
+  // duration of the call: concurrent sweep workers (src/sweep/) each see
+  // only their own world's acquire/release pairs. Whatever is outstanding
   // after full teardown below is a leak (RunResult::leaks).
-  audit::global().reset();
+  audit::Auditor auditor;
+  audit::ScopedAuditor audit_scope(auditor);
   RunResult result;
   Ctx ctx(spec);
   if (spec.record_schedule_trace) ctx.engine.record_trace(1u << 18);
@@ -1033,7 +1036,7 @@ RunResult run(const Spec& spec) {
   result.transfers = ctx.fabric.transfers_started();
   result.bytes_moved = ctx.fabric.bytes_transferred();
   if (spec.record_schedule_trace) result.schedule_trace = ctx.engine.trace();
-  result.leaks = audit::global().leaks();
+  result.leaks = auditor.leaks();
   return result;
 }
 

@@ -145,7 +145,11 @@ TEST(RunDeterministic, FlagsNonReproducibleRun) {
     out.trace = engine.trace();
     return out;
   };
-  Report report = check::run_deterministic("drifting", scenario);
+  // The scenario mutates captured state across runs, so pin the sweep to
+  // one thread (the documented rule for stateful fixtures).
+  Options options;
+  options.threads = 1;
+  Report report = check::run_deterministic("drifting", scenario, options);
   EXPECT_FALSE(report.deterministic);
   EXPECT_NE(report.to_string().find("not reproducible"), std::string::npos)
       << report.to_string();
