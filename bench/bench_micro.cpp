@@ -12,6 +12,7 @@
 #include "net/transport.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
+#include "trace/trace.h"
 
 using namespace imc;
 
@@ -191,6 +192,67 @@ void BM_SlabFillSyntheticStrided(benchmark::State& state) {
                           static_cast<std::int64_t>(src_box.volume() * 8));
 }
 BENCHMARK(BM_SlabFillSyntheticStrided)->Arg(64);
+
+// Tracing overhead pair: the per-span cost with no recorder bound (the
+// compiled-in-but-disabled fast path every run pays) vs. the full record
+// path with a live recorder. The Traced variants below repeat the hot
+// kernels with a disabled span in the loop so scripts/bench.py can assert
+// the off-by-default overhead stays under its budget on real work.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    TRACE_SPAN("bench.noop", 0, 0);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+#if IMC_TRACE_ENABLED
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  sim::Engine engine;
+  trace::Recorder recorder(engine, "bench", 4096);
+  trace::ScopedRecorder bind(recorder);
+  std::size_t recorded = 0;
+  for (auto _ : state) {
+    TRACE_SPAN("bench.noop", 0, 0);
+    if (++recorded == 4096) {
+      // Drain below the event cap so every iteration takes the append path.
+      benchmark::DoNotOptimize(recorder.take_chunk().digest);
+      recorded = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
+#endif
+
+void BM_BoxQueryIndexTraced(benchmark::State& state) {
+  const auto boxes = nda::decompose_grid(kQueryGlobal, {16, 16, 16});
+  const nda::BoxIndex index = nda::BoxIndex::build(boxes);
+  benchmark::DoNotOptimize(index.query(kQueryTarget).data());  // warm build
+  for (auto _ : state) {
+    TRACE_SPAN("bench.box_query", 0, 0);
+    auto hits = index.query(kQueryTarget);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoxQueryIndexTraced);
+
+void BM_SlabCopyStridedTraced(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const nda::Box src_box({16, 16, 16}, {16 + n, 16 + n, 16 + n});
+  nda::Slab src = nda::Slab::zeros(src_box);
+  nda::Slab dst = nda::Slab::zeros(nda::Box({0, 0, 0}, {n + 32, n + 32, n + 32}));
+  for (auto _ : state) {
+    TRACE_SPAN("bench.slab_copy", 0, 0);
+    dst.fill_from(src);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src_box.volume() * 8));
+}
+BENCHMARK(BM_SlabCopyStridedTraced)->Arg(64);
 
 void BM_HilbertDistance(benchmark::State& state) {
   std::vector<std::uint32_t> point = {12345, 6789};

@@ -60,7 +60,8 @@ SCENARIOS = [
 SMOKE_SCENARIOS = ["bench_tab1_configurations", "bench_fig6_index_cost"]
 
 MICRO_FILTER = ("BM_BoxQuery|BM_SlabCopy|BM_SlabFillSynthetic|"
-                "BM_EngineSameInstantChurn|BM_EngineEventThroughput")
+                "BM_EngineSameInstantChurn|BM_EngineEventThroughput|"
+                "BM_TraceSpan")
 
 # (derived key, numerator bench, denominator bench): speedup = num / den.
 SPEEDUPS = [
@@ -69,6 +70,33 @@ SPEEDUPS = [
     ("slab_fill_synthetic_speedup", "BM_SlabFillSyntheticNaive/64",
      "BM_SlabFillSyntheticStrided/64"),
 ]
+
+# Tracing-disabled overhead guard: BM_TraceSpanDisabled times one unbound
+# TRACE_SPAN (a thread-local null check, single-digit ns, near-zero
+# variance); the guard asserts that cost stays under the budget relative to
+# each hot kernel — the ratio models a disabled span wrapped around every
+# kernel invocation. Differencing two separately-timed ~200 µs kernel runs
+# (the Traced micro variants, kept for eyeballing) cannot resolve 2% on a
+# shared machine whose run-to-run jitter exceeds 10%.
+TRACE_SPAN_BENCH = "BM_TraceSpanDisabled"
+TRACE_OVERHEAD_KERNELS = [
+    ("trace_off_overhead_box_query", "BM_BoxQueryIndex"),
+    ("trace_off_overhead_slab_copy", "BM_SlabCopyStrided/64"),
+]
+TRACE_OVERHEAD_LIMIT = 1.02
+TRACE_OVERHEAD_FILTER = ("BM_TraceSpanDisabled$|BM_BoxQueryIndex$|"
+                         "BM_SlabCopyStrided/64$")
+
+# Scenarios re-run with IMC_TRACE on at each of these thread counts in full
+# mode; the exported metric digests must be byte-identical across the set.
+# Must be benches that actually run workflows (a binary that never fires a
+# trace hook never instantiates the env sink, so no file is written).
+# The per-run event cap bounds the fig2 artifact to tens of MB; the cap
+# feeds the digest, so it is pinned here rather than inherited.
+TRACE_DIGEST_SCENARIOS = ["bench_tab4_robustness", "bench_fig11_decaf_servers",
+                          "bench_fig2_end_to_end"]
+TRACE_DIGEST_THREADS = (1, 2, 8)
+TRACE_DIGEST_EVENT_CAP = "4096"
 
 
 def run(cmd, **kwargs):
@@ -88,12 +116,16 @@ def configure_and_build(build_dir, targets, jobs):
     run(["cmake", "--build", build_dir, "-j", str(jobs), "--target"] + targets)
 
 
-def run_micro(build_dir, smoke, timeout):
+def run_micro(build_dir, smoke, timeout, bench_filter=None, min_time=None):
     cmd = [os.path.join(build_dir, "bench", "bench_micro"),
            "--benchmark_format=json"]
     if smoke:
-        cmd.append("--benchmark_filter=" + MICRO_FILTER)
-        cmd.append("--benchmark_min_time=0.05")
+        bench_filter = bench_filter or MICRO_FILTER
+        min_time = min_time or 0.05
+    if bench_filter:
+        cmd.append("--benchmark_filter=" + bench_filter)
+    if min_time:
+        cmd.append(f"--benchmark_min_time={min_time}")
     out = run(cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
               timeout=timeout).stdout
     report = json.loads(out)  # raises on malformed output: the smoke gate
@@ -122,7 +154,53 @@ def derive(micro):
     churn = micro.get("BM_EngineSameInstantChurn/4096")
     if churn and "items_per_second" in churn:
         derived["same_instant_items_per_s"] = round(churn["items_per_second"])
+    if TRACE_SPAN_BENCH in micro:
+        span_ns = micro[TRACE_SPAN_BENCH]["real_time_ns"]
+        for key, kernel in TRACE_OVERHEAD_KERNELS:
+            if kernel in micro:
+                derived[key] = round(
+                    (micro[kernel]["real_time_ns"] + span_ns) /
+                    micro[kernel]["real_time_ns"], 3)
     return derived
+
+
+def check_trace_overhead(build_dir, micro, timeout, attempts=3):
+    """Asserts the tracing-disabled span overhead stays under the budget.
+
+    Ratio per kernel: (kernel + disabled span) / kernel, both taken from the
+    same micro pass so kernel jitter cancels. On a miss the three benches
+    are re-timed with a longer min_time and the per-bench minimum across
+    runs is kept (the minimum is the noise-free estimate). Returns the
+    final ratios, or None if the budget still fails.
+    """
+    names = [TRACE_SPAN_BENCH] + [k for _, k in TRACE_OVERHEAD_KERNELS]
+    times = {name: micro[name]["real_time_ns"]
+             for name in names if name in micro}
+
+    def ratios():
+        if TRACE_SPAN_BENCH not in times:
+            return {}
+        return {key: (times[kernel] + times[TRACE_SPAN_BENCH]) /
+                times[kernel]
+                for key, kernel in TRACE_OVERHEAD_KERNELS
+                if kernel in times}
+
+    for attempt in range(attempts):
+        current = ratios()
+        if current and all(r <= TRACE_OVERHEAD_LIMIT
+                           for r in current.values()):
+            return current
+        print(f"  trace overhead above {TRACE_OVERHEAD_LIMIT}: "
+              f"{current} (retry {attempt + 1}/{attempts - 1})", flush=True)
+        rerun = run_micro(build_dir, smoke=False, timeout=timeout,
+                          bench_filter=TRACE_OVERHEAD_FILTER, min_time=0.5)
+        for name, record in rerun.items():
+            times[name] = min(times.get(name, record["real_time_ns"]),
+                              record["real_time_ns"])
+    current = ratios()
+    if current and all(r <= TRACE_OVERHEAD_LIMIT for r in current.values()):
+        return current
+    return None
 
 
 def run_scenarios(build_dir, names, timeout, threads=None):
@@ -145,6 +223,45 @@ def run_scenarios(build_dir, names, timeout, threads=None):
         }
         print(f"  {name}{label}: {elapsed:.2f}s, "
               f"{results[name]['stdout_lines']} lines", flush=True)
+    return results
+
+
+def run_trace_digests(build_dir, names, timeout):
+    """Runs scenarios with IMC_TRACE on across thread counts; returns
+    per-scenario records, or None if any digest differs between counts.
+
+    The exported metric digest is the determinism fingerprint of the trace
+    layer: byte-identical simulated-time streams at every sweep width.
+    """
+    results = {}
+    for name in names:
+        path = os.path.join(build_dir, "bench", name)
+        digests = {}
+        runs = 0
+        for threads in TRACE_DIGEST_THREADS:
+            trace_path = os.path.join(build_dir,
+                                      f"{name}.trace.t{threads}.json")
+            env = dict(os.environ)
+            env["IMC_THREADS"] = str(threads)
+            env["IMC_TRACE"] = trace_path
+            env["IMC_TRACE_EVENTS"] = TRACE_DIGEST_EVENT_CAP
+            run([path], stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL, timeout=timeout, env=env)
+            with open(trace_path, encoding="utf-8") as f:
+                trace = json.load(f)
+            digests[threads] = trace["imc"]["digest"]
+            runs = len(trace["imc"]["runs"])
+            os.remove(trace_path)
+        if len(set(digests.values())) != 1:
+            print(f"FAIL: {name} trace digest differs across "
+                  f"IMC_THREADS={TRACE_DIGEST_THREADS}: {digests}",
+                  file=sys.stderr)
+            return None
+        results[name] = {"trace_digest": digests[TRACE_DIGEST_THREADS[0]],
+                         "trace_runs": runs}
+        print(f"  {name}: trace digest {results[name]['trace_digest']} "
+              f"({runs} runs), identical at IMC_THREADS="
+              f"{'/'.join(str(t) for t in TRACE_DIGEST_THREADS)}", flush=True)
     return results
 
 
@@ -203,6 +320,22 @@ def main():
         derived["sweep_threads"] = sweep_threads
         derived["sweep_speedup"] = round(seq_total / par_total, 2) \
             if par_total > 0 else 0.0
+
+        ratios = check_trace_overhead(args.build_dir, micro,
+                                      per_bench_timeout)
+        if ratios is None:
+            print(f"FAIL: tracing-disabled overhead exceeds "
+                  f"{TRACE_OVERHEAD_LIMIT} after retries", file=sys.stderr)
+            return 1
+        derived.update({k: round(v, 3) for k, v in ratios.items()})
+
+        trace_digests = run_trace_digests(args.build_dir,
+                                          TRACE_DIGEST_SCENARIOS,
+                                          per_bench_timeout)
+        if trace_digests is None:
+            return 1
+        for name, record in trace_digests.items():
+            scenario_results[name].update(record)
 
     report = {
         "schema": "imc-bench-perf-v1",

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validator for imc::trace Chrome/Perfetto exports.
+
+Checks that a trace written via IMC_TRACE=<path> is well-formed: valid
+JSON, every traceEvent one of the phases the exporter emits (M metadata /
+X complete span / C counter) with integer non-negative ts/dur and pid/tid
+present, and an "imc" summary block carrying the schema tag, per-run
+digests, and the chain digest.
+
+Usage:
+  scripts/check_trace.py TRACE.json [--require CAT ...] [--print-digest]
+
+--require CAT fails unless at least one span carries that category (the
+span-name prefix before the first dot: fabric, ds, workflow, ...) or a
+counter does (mem gauges export as ph=C counters, not spans).
+--print-digest writes the chain digest to stdout for cheap shell diffs.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "imc-trace-v1"
+DIGEST_HEX_LEN = 16
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_events(events):
+    """Returns (error, span_count, categories_seen)."""
+    categories = set()
+    spans = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        ph = event.get("ph")
+        if ph not in ("M", "X", "C"):
+            return f"{where}: unexpected ph {ph!r}", spans, categories
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                return f"{where}: missing integer {key}", spans, categories
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            return f"{where}: ts must be a non-negative integer", \
+                spans, categories
+        if "name" not in event:
+            return f"{where}: missing name", spans, categories
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                return f"{where}: dur must be a non-negative integer", \
+                    spans, categories
+            spans += 1
+            categories.add(event.get("cat", ""))
+        else:  # C
+            args = event.get("args", {})
+            if "value" not in args:
+                return f"{where}: counter without args.value", \
+                    spans, categories
+            categories.add(event["name"].split(".", 1)[0])
+    return None, spans, categories
+
+
+def check_imc_block(imc):
+    if imc.get("schema") != SCHEMA:
+        return f"imc.schema is {imc.get('schema')!r}, want {SCHEMA!r}"
+    digest = imc.get("digest")
+    if not isinstance(digest, str) or len(digest) != DIGEST_HEX_LEN:
+        return "imc.digest missing or not a 16-hex-char string"
+    runs = imc.get("runs")
+    if not isinstance(runs, list):
+        return "imc.runs missing"
+    for i, run in enumerate(runs):
+        run_digest = run.get("digest")
+        if not isinstance(run_digest, str) or \
+                len(run_digest) != DIGEST_HEX_LEN:
+            return f"imc.runs[{i}].digest missing or malformed"
+        if "label" not in run or "metrics" not in run:
+            return f"imc.runs[{i}] missing label/metrics"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON written via IMC_TRACE")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="CAT",
+                        help="fail unless a span with this category exists")
+    parser.add_argument("--print-digest", action="store_true",
+                        help="print the chain digest to stdout")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {args.trace}: {e}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("no traceEvents array")
+    error, spans, categories = check_events(events)
+    if error:
+        return fail(error)
+    if spans == 0:
+        return fail("no complete spans (ph=X) in the trace")
+
+    imc = trace.get("imc")
+    if not isinstance(imc, dict):
+        return fail("no imc summary block")
+    error = check_imc_block(imc)
+    if error:
+        return fail(error)
+
+    missing = sorted(set(args.require) - categories)
+    if missing:
+        return fail(f"required span categories absent: {missing} "
+                    f"(present: {sorted(categories)})")
+
+    if args.print_digest:
+        print(imc["digest"])
+    else:
+        print(f"ok: {spans} spans, {len(imc['runs'])} runs, "
+              f"categories {sorted(c for c in categories if c)}, "
+              f"digest {imc['digest']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,4 +84,29 @@ print("stdout hashes identical at IMC_THREADS=1 and 2:",
       ", ".join(sorted(a)))
 EOF
 
+# Trace smoke: a Fig. 2 run with IMC_TRACE must produce a Perfetto-loadable
+# export carrying spans from the fabric, memory, DataSpaces, and workflow
+# layers, and the metric digest chain must not depend on the sweep width.
+# The event cap bounds the artifact size; it is part of the digest input, so
+# both runs use the same cap.
+echo "==> trace smoke (IMC_TRACE export + thread-count digest diff)"
+smoke="$repo/build-bench-smoke"
+cmake --build "$smoke" -j "$(nproc)" --target bench_fig2_end_to_end
+IMC_THREADS=1 IMC_TRACE_EVENTS=4096 IMC_TRACE="$smoke/fig2.trace.t1.json" \
+  "$smoke/bench/bench_fig2_end_to_end" >/dev/null
+IMC_THREADS=2 IMC_TRACE_EVENTS=4096 IMC_TRACE="$smoke/fig2.trace.t2.json" \
+  "$smoke/bench/bench_fig2_end_to_end" >/dev/null
+python3 "$repo/scripts/check_trace.py" "$smoke/fig2.trace.t1.json" \
+  --require fabric --require mem --require ds --require workflow
+d1="$(python3 "$repo/scripts/check_trace.py" "$smoke/fig2.trace.t1.json" \
+  --print-digest)"
+d2="$(python3 "$repo/scripts/check_trace.py" "$smoke/fig2.trace.t2.json" \
+  --print-digest)"
+if [ "$d1" != "$d2" ]; then
+  echo "FAIL: trace digest depends on IMC_THREADS: $d1 vs $d2" >&2
+  exit 1
+fi
+echo "trace digests identical at IMC_THREADS=1 and 2: $d1"
+rm -f "$smoke/fig2.trace.t1.json" "$smoke/fig2.trace.t2.json"
+
 echo "==> CI OK"

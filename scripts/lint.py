@@ -12,6 +12,9 @@ Flags constructions that break determinism or silently drop errors:
   discarded-status  `(void)call(...)` — same, for synchronous calls
   ref-capture-await lambda capturing by reference whose body contains
                     co_await — the frame may outlive the captured locals
+  trace-real-time   (path-scoped) any std::chrono / time( / clock_gettime
+                    in the trace layer or an instrumented subsystem — trace
+                    timestamps must be simulated time from sim::Engine
 
 Suppress a finding by putting `imc-lint: allow(<rule>)` in a comment on the
 offending line (or the line above), stating why.
@@ -38,6 +41,29 @@ RULES = [
 
 LAMBDA_REF_CAPTURE = re.compile(r"(?<![\w\]])\[\s*&")
 ALLOW = re.compile(r"imc-lint:\s*allow\(([\w,\s-]+)\)")
+
+# Directories where imc::trace records events: src/trace itself plus every
+# instrumented subsystem. A real-time call here would stamp wall-clock time
+# into a stream whose whole contract is simulated time, so the wall-clock
+# ban is broader than the global rule (any std::chrono use, time(),
+# clock_gettime). src/sweep drives OS worker threads and is exempt.
+TRACE_TIME_DIRS = frozenset({
+    "trace", "net", "mem", "dataspaces", "dimes", "flexpath", "decaf",
+    "mpi", "lustre", "workflow", "sim",
+})
+
+
+def in_trace_scope(path):
+    return not TRACE_TIME_DIRS.isdisjoint(
+        os.path.normpath(path).split(os.sep))
+
+
+# (rule, pattern, path predicate): applied only where the predicate holds.
+PATH_RULES = [
+    ("trace-real-time",
+     re.compile(r"std::chrono\b|\bclock_gettime\s*\(|(?<![\w.])time\s*\("),
+     in_trace_scope),
+]
 
 
 def strip_comments_and_strings(text):
@@ -132,6 +158,10 @@ def lint_file(path):
         for rule, pattern in RULES:
             if pattern.search(line) and rule not in allowed_rules(
                     raw_lines, lineno):
+                findings.append((path, lineno, rule, raw_lines[lineno - 1]))
+        for rule, pattern, applies in PATH_RULES:
+            if applies(path) and pattern.search(line) and \
+                    rule not in allowed_rules(raw_lines, lineno):
                 findings.append((path, lineno, rule, raw_lines[lineno - 1]))
 
     for m in LAMBDA_REF_CAPTURE.finditer(code):

@@ -51,6 +51,19 @@ Result<long long> parse_int(const char* name, const char* value,
   return parsed;
 }
 
+Result<std::string> parse_str(const char* name, const char* value,
+                              const char* fallback) {
+  if (value == nullptr) return std::string(fallback);
+  if (value[0] == '\0') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      std::string(name) +
+                          "=\"\" is empty; set a value or unset it (an empty "
+                          "setting is almost always a broken shell "
+                          "expansion)");
+  }
+  return std::string(value);
+}
+
 bool flag_or_die(const char* name, bool fallback) {
   Result<bool> parsed = parse_flag(name, std::getenv(name), fallback);
   if (!parsed.has_value()) die(parsed.status());
@@ -61,6 +74,12 @@ long long int_or_die(const char* name, long long fallback, long long min,
                      long long max) {
   Result<long long> parsed =
       parse_int(name, std::getenv(name), fallback, min, max);
+  if (!parsed.has_value()) die(parsed.status());
+  return parsed.value();
+}
+
+std::string str_or_die(const char* name, const char* fallback) {
+  Result<std::string> parsed = parse_str(name, std::getenv(name), fallback);
   if (!parsed.has_value()) die(parsed.status());
   return parsed.value();
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 
@@ -30,9 +31,16 @@ Result<bool> parse_flag(const char* name, const char* value, bool fallback);
 Result<long long> parse_int(const char* name, const char* value,
                             long long fallback, long long min, long long max);
 
+// String knob (IMC_TRACE=<path>): unset -> fallback; set-but-empty ->
+// kInvalidArgument (an empty path is almost always a broken shell
+// expansion, and "run with tracing to nowhere" is not a useful default).
+Result<std::string> parse_str(const char* name, const char* value,
+                              const char* fallback);
+
 // getenv() + parse; on error prints the message to stderr and exits 2.
 bool flag_or_die(const char* name, bool fallback);
 long long int_or_die(const char* name, long long fallback, long long min,
                      long long max);
+std::string str_or_die(const char* name, const char* fallback);
 
 }  // namespace imc::env

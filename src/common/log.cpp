@@ -54,7 +54,21 @@ void log_message(LogLevel level, const std::string& msg) {
 
 ScopedLogBuffer::ScopedLogBuffer() : previous_(t_buffer) { t_buffer = this; }
 
-ScopedLogBuffer::~ScopedLogBuffer() { t_buffer = previous_; }
+ScopedLogBuffer::~ScopedLogBuffer() {
+  t_buffer = previous_;
+  // Flush anything captured but never take()n — e.g. when a sweep job
+  // throws and unwinds past its buffer — to the enclosing sink instead of
+  // silently dropping it. Ordering is best-effort on this path; callers
+  // that care about submission order still call take() and flush
+  // themselves.
+  if (!buffer_.empty()) {
+    if (previous_ != nullptr) {
+      previous_->buffer_.append(buffer_);
+    } else {
+      write_log_output(buffer_);
+    }
+  }
+}
 
 void write_log_output(const std::string& text) {
   if (text.empty()) return;

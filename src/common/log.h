@@ -21,8 +21,10 @@ void log_message(LogLevel level, const std::string& msg);
 
 // While alive, log output on this thread is appended to this buffer instead
 // of being written to stderr. Bindings nest: the innermost buffer captures.
-// The destructor unbinds without flushing; call take() (then
-// write_log_output) to emit what was captured.
+// Call take() (then write_log_output) to emit what was captured in a
+// controlled order; anything still buffered at destruction is flushed to
+// the previous binding (or stderr) rather than dropped, so warnings survive
+// exception unwinds.
 class ScopedLogBuffer {
  public:
   ScopedLogBuffer();

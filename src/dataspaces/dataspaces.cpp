@@ -6,6 +6,7 @@
 #include "common/audit.h"
 #include "common/log.h"
 #include "net/fabric.h"
+#include "trace/trace.h"
 
 namespace imc::dataspaces {
 
@@ -100,12 +101,22 @@ sim::Task<> DataSpaces::server_loop(Server& server) {
     // Serialized per-request service on the single-threaded server.
     co_await engine_->sleep(kServerServiceSeconds);
     if (auto* prep = std::get_if<PutPrep>(&request)) {
-      co_await engine_->sleep(kIndexOpSeconds);
+      {
+        // DHT/SFC index update for the incoming object descriptor.
+        TRACE_SPAN("ds.index_op", server.endpoint.node->id(),
+                   server.endpoint.pid);
+        co_await engine_->sleep(kIndexOpSeconds);
+      }
       handle_put_prep(server, *prep);
     } else if (auto* commit = std::get_if<PutCommit>(&request)) {
       handle_put_commit(server, *commit);
     } else if (auto* get = std::get_if<GetReq>(&request)) {
-      co_await engine_->sleep(kIndexOpSeconds);
+      {
+        // DHT/SFC index lookup resolving the requested box.
+        TRACE_SPAN("ds.index_op", server.endpoint.node->id(),
+                   server.endpoint.pid);
+        co_await engine_->sleep(kIndexOpSeconds);
+      }
       // Bulk movement overlaps with serving other requests (one-sided RDMA
       // from pinned staging memory).
       engine_->spawn(run_get(server, std::move(*get)));
@@ -337,6 +348,11 @@ sim::Task<> DataSpaces::run_get(Server& server, GetReq req) {
   }
   ++server.stats.gets;
   // One-sided transfer out of pinned staging memory into the client.
+  trace::Span span = trace::span(
+      "ds.serve_get",
+      trace::Track{server.endpoint.node->id(), server.endpoint.pid});
+  span.arg("bytes", static_cast<double>(total_bytes));
+  span.arg("pieces", static_cast<double>(pieces.size()));
   net::TransferOptions opts;
   opts.src_pinned = true;
   Status st = co_await transport_->transfer(server.endpoint, req.client,
@@ -381,7 +397,14 @@ sim::Task<Status> DataSpaces::Client::put(const nda::VarDesc& var,
   const RegionSet& regions = ds_->regions_of(var);
   // Sub-regions visited in coordinate order — every rank walks servers in
   // the same sequence (Finding 3's convoy when decompositions mismatch).
-  for (const auto& [region_idx, overlap] : regions.index.query(slab.box())) {
+  const auto hits = regions.index.query(slab.box());
+  // Fan-in degree: how many server regions one rank's output decomposes
+  // into (the N-to-1 pressure behind Finding 3).
+  trace::count("ds.put.fanout", static_cast<double>(hits.size()));
+  trace::Span span =
+      trace::span("ds.put", trace::Track{self_.node->id(), self_.pid});
+  span.arg("fanout", static_cast<double>(hits.size()));
+  for (const auto& [region_idx, overlap] : hits) {
     const int s = server_of_region(region_idx, ds_->num_servers());
     Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
     const std::uint64_t bytes = overlap.volume() * nda::kElementBytes;
@@ -413,6 +436,8 @@ sim::Task<Result<nda::Slab>> DataSpaces::Client::get(const nda::VarDesc& var,
   }
   std::vector<nda::Slab> pieces;
   const RegionSet& regions = ds_->regions_of(var);
+  trace::Span span =
+      trace::span("ds.get", trace::Track{self_.node->id(), self_.pid});
   for (const auto& [region_idx, overlap] : regions.index.query(box)) {
     const int s = server_of_region(region_idx, ds_->num_servers());
     Server& server = *ds_->servers_[static_cast<std::size_t>(s)];

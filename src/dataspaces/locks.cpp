@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/audit.h"
+#include "trace/trace.h"
 
 namespace imc::dataspaces {
 namespace {
@@ -48,7 +49,9 @@ sim::Task<Status> LockService::lock_on_write(const std::string& name) {
     audit::acquire(audit::Resource::kDsLock, lock_owner(name, true));
     co_return Status::ok();
   }
+  const double wait_start = engine_->now();
   co_await wait_turn(lock, /*is_writer=*/true);
+  trace::value("ds.lock_wait.write", engine_->now() - wait_start);
   // drain() marked the lock held before resuming us.
   assert(lock.write_held);
   co_return Status::ok();
@@ -71,7 +74,9 @@ sim::Task<Status> LockService::lock_on_read(const std::string& name) {
     audit::acquire(audit::Resource::kDsLock, lock_owner(name, false));
     co_return Status::ok();
   }
+  const double wait_start = engine_->now();
   co_await wait_turn(lock, /*is_writer=*/false);
+  trace::value("ds.lock_wait.read", engine_->now() - wait_start);
   co_return Status::ok();
 }
 

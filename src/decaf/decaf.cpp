@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace imc::decaf {
 
 // --------------------------------------------------------------- graph ----
@@ -148,6 +150,10 @@ sim::Task<Status> Dataflow::put(int producer_index, const nda::VarDesc& var,
   const int me = prod_base_ + producer_index;
   mem::ProcessMemory& memory = *rank_memory_[static_cast<std::size_t>(me)];
   const std::uint64_t raw = slab.box().volume() * nda::kElementBytes;
+  const net::Endpoint self = world_->endpoint(me);
+  trace::Span span =
+      trace::span("decaf.put", trace::Track{self.node->id(), self.pid});
+  span.arg("bytes", static_cast<double>(raw));
 
   // Bredala pipeline on the producer: wrap the raw array into a semantic
   // container (2x), then flatten it into a contiguous wire buffer (1x).
@@ -196,8 +202,11 @@ sim::Task<> Dataflow::dflow_loop(int dflow_index) {
 
   const int senders = expected_senders(dflow_index);
   const int requests_per_step = expected_requests(dflow_index);
+  const net::Endpoint self = world_->endpoint(me);
+  const trace::Track track{self.node->id(), self.pid};
 
   for (int step = 0;; ++step) {
+    trace::Span step_span = trace::span("decaf.dflow_step", track);
     // Gather one chunk from each producer routed to this rank (or stop
     // markers riding the same tag).
     std::vector<Chunk> chunks;
@@ -215,6 +224,7 @@ sim::Task<> Dataflow::dflow_loop(int dflow_index) {
       chunks.push_back(std::move(chunk));
     }
     if (stopped) break;
+    step_span.arg("bytes", static_cast<double>(recv_bytes));
 
     // Bredala pipeline on the dataflow rank; S = this rank's share.
     // Peak: recv wire (1S) + decoded containers (2S) + merged container
@@ -284,6 +294,9 @@ sim::Task<Result<nda::Slab>> Dataflow::get(int consumer_index,
                                            const nda::Box& box) {
   const int me = con_base_ + consumer_index;
   mem::ProcessMemory& memory = *rank_memory_[static_cast<std::size_t>(me)];
+  const net::Endpoint self = world_->endpoint(me);
+  trace::Span span =
+      trace::span("decaf.get", trace::Track{self.node->id(), self.pid});
 
   const std::vector<int> queried = dflow_queries(consumer_index);
   for (int d : queried) {
@@ -306,6 +319,7 @@ sim::Task<Result<nda::Slab>> Dataflow::get(int consumer_index,
       pieces.push_back(std::move(piece));
     }
   }
+  span.arg("bytes", static_cast<double>(received_bytes));
   // Decode received containers (transient, then handed to the app).
   Status st;
   mem::ScopedAlloc decode_buffer(memory, mem::Tag::kLibrary, received_bytes,

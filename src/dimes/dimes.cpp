@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/audit.h"
+#include "trace/trace.h"
 
 namespace imc::dimes {
 
@@ -245,6 +246,9 @@ sim::Task<Status> Dimes::Client::put(const nda::VarDesc& var,
   buffer_used_ += bytes;
 
   // Descriptor to the metadata server.
+  trace::Span span = trace::span(
+      "dimes.put_meta", trace::Track{self_.node->id(), self_.pid});
+  span.arg("bytes", static_cast<double>(bytes));
   Server& md = dimes_->server_for(var.name);
   sim::Queue<Status> reply(*dimes_->engine_);
   co_await dimes_->transport_->transfer(self_, md.endpoint, kCtrlBytes,
@@ -259,12 +263,15 @@ sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
     co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
   }
   // Query the object directory.
+  const trace::Track track{self_.node->id(), self_.pid};
+  trace::Span query_span = trace::span("dimes.get.query", track);
   Server& md = dimes_->server_for(var.name);
   sim::Queue<Result<std::vector<ObjectDesc>>> reply(*dimes_->engine_);
   co_await dimes_->transport_->transfer(self_, md.endpoint, kCtrlBytes,
                                         {.src_pinned = true, .dst_pinned = true});
   md.queue->push(QueryMeta{var, box, &reply});
   auto descriptors = co_await reply.pop();
+  query_span.end();
   if (!descriptors.has_value()) co_return descriptors.status();
 
   // Pull each intersecting piece directly from its owner's memory.
@@ -286,10 +293,14 @@ sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
     net::TransferOptions opts;
     opts.src_pinned = true;  // staged data is pre-registered at the owner
     const std::uint64_t bytes = overlap->volume() * nda::kElementBytes;
-    if (Status st = co_await dimes_->transport_->transfer(owner->self_, self_,
-                                                          bytes, opts);
-        !st.is_ok()) {
-      co_return st;
+    {
+      trace::Span pull = trace::span("dimes.get.pull", track);
+      pull.arg("bytes", static_cast<double>(bytes));
+      if (Status st = co_await dimes_->transport_->transfer(owner->self_,
+                                                            self_, bytes, opts);
+          !st.is_ok()) {
+        co_return st;
+      }
     }
     for (const auto& object : owner->store_) {
       if (object.var == var && object.slab.box().contains(*overlap)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace imc::flexpath {
 
 Flexpath::Flexpath(sim::Engine& engine, hpc::Cluster& cluster,
@@ -50,7 +52,10 @@ sim::Task<Status> Flexpath::Writer::write_step(const nda::VarDesc& var,
   }
   // Back-pressure: with queue_size staged steps outstanding, block until a
   // reader cohort releases one.
-  co_await queue_slots_->acquire();
+  {
+    TRACE_SPAN("flexpath.queue_wait", self_.node->id(), self_.pid);
+    co_await queue_slots_->acquire();
+  }
 
   const std::uint64_t bytes = slab.box().volume() * nda::kElementBytes;
   if (Status st = memory_->allocate(mem::Tag::kStaging, bytes); !st.is_ok()) {
@@ -151,8 +156,10 @@ sim::Task<Result<nda::Slab>> Flexpath::Reader::read_step(
   writers.reserve(fp_->writers_.size());
   for (auto& [pid, writer] : fp_->writers_) writers.push_back(writer);
 
+  const trace::Track track{self_.node->id(), self_.pid};
   for (Writer* writer : writers) {
     // Wait until the writer published this step.
+    trace::Span fetch = trace::span("flexpath.fetch", track);
     auto [it, inserted] = writer->steps_.try_emplace(var.version);
     if (!it->second.available) {
       it->second.available = std::make_unique<sim::Event>(*fp_->engine_);
@@ -166,6 +173,7 @@ sim::Task<Result<nda::Slab>> Flexpath::Reader::read_step(
       co_return st;
     }
     const std::uint64_t bytes = overlap->volume() * nda::kElementBytes;
+    fetch.arg("bytes", static_cast<double>(bytes));
 
     // Request event (small), FFS encode at the writer, wire transfer, FFS
     // decode at the reader.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "trace/trace.h"
+
 namespace imc::lustre {
 
 FileSystem::FileSystem(sim::Engine& engine, net::Fabric& fabric,
@@ -22,6 +24,8 @@ sim::Task<> FileSystem::metadata_op(const std::string& key) {
   const std::size_t mds =
       std::hash<std::string>{}(key) % mds_busy_until_.size();
   double& busy = mds_busy_until_[mds];
+  trace::Span span = trace::span("lustre.mds", trace::Track{});
+  span.arg("wait", std::max(0.0, busy - engine_->now()));
   const double done = std::max(engine_->now(), busy) + config_->mds_op_time;
   busy = done;
   co_await engine_->sleep(done - engine_->now());
@@ -111,6 +115,8 @@ double last_chunk_done(std::uint64_t offset, std::uint64_t bytes,
 sim::Task<Status> File::write(hpc::Node& src, std::uint64_t offset,
                               std::uint64_t bytes) {
   if (bytes == 0) co_return Status::ok();
+  trace::Span span = trace::span("lustre.write", trace::Track{src.id(), 0});
+  span.arg("bytes", static_cast<double>(bytes));
   // The data leaves the compute node through its NIC...
   const double egress_end = src.egress().reserve(
       fs_->engine_->now(), bytes, fs_->config_->injection_bandwidth);
@@ -131,6 +137,8 @@ sim::Task<Status> File::write(hpc::Node& src, std::uint64_t offset,
 sim::Task<Status> File::read(hpc::Node& dst, std::uint64_t offset,
                              std::uint64_t bytes) {
   if (bytes == 0) co_return Status::ok();
+  trace::Span span = trace::span("lustre.read", trace::Track{dst.id(), 0});
+  span.arg("bytes", static_cast<double>(bytes));
   const double osts_done = last_chunk_done(
       offset, bytes, stripe_, first_ost_, fs_->ost_count(),
       [this](int ost, std::uint64_t chunk) {

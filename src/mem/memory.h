@@ -20,6 +20,7 @@
 #include "common/audit.h"
 #include "common/status.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace imc::mem {
 
@@ -138,6 +139,15 @@ class ProcessMemory {
     for (int i = 0; i < kTagCount; ++i) {
       peak_by_tag_[i] = std::max(peak_by_tag_[i], by_tag_[i]);
     }
+#if IMC_TRACE_ENABLED
+    // Per-process allocation gauge (Fig. 5 timelines in Perfetto). The
+    // gauge name is built lazily so the disabled path stays a null check.
+    if (trace::Recorder* recorder = trace::global()) {
+      if (trace_name_.empty()) trace_name_ = "mem." + name_;
+      recorder->gauge(trace_name_, trace::Track{},
+                      static_cast<double>(total_));
+    }
+#endif
     const double now = engine_->now();
     if (!timeline_.empty() && timeline_.back().time == now) {
       timeline_.back().total = total_;
@@ -163,6 +173,7 @@ class ProcessMemory {
 
   sim::Engine* engine_;
   std::string name_;
+  std::string trace_name_;  // lazily built "mem.<name>" gauge key
   NodeMemory* node_;
   std::array<std::uint64_t, kTagCount> by_tag_{};
   std::array<std::uint64_t, kTagCount> peak_by_tag_{};

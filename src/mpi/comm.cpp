@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace imc::mpi {
 
 Comm::Comm(sim::Engine& engine, net::Fabric& fabric, hpc::Cluster& cluster,
@@ -66,6 +68,7 @@ sim::Task<> Comm::barrier(int rank) {
   const int n = size();
   const int base = next_collective_tag(rank);
   if (n == 1) co_return;
+  TRACE_SPAN("mpi.barrier", node_of(rank).id(), pid_base_ + rank);
   int round = 0;
   for (int dist = 1; dist < n; ++round, dist <<= 1) {
     const int tag = base - round;

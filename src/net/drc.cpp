@@ -1,6 +1,7 @@
 #include "net/drc.h"
 
 #include "common/audit.h"
+#include "trace/trace.h"
 
 namespace imc::net {
 namespace {
@@ -11,6 +12,7 @@ std::string drc_owner(int pid) { return "pid-" + std::to_string(pid); }
 
 sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
   if (credentialed_.contains(pid)) co_return Status::ok();
+  trace::Span span = trace::span("drc.acquire", trace::Track{node_id, pid});
 
   // Coalesce onto a grant already in flight for this pid.
   if (auto it = in_flight_.find(pid); it != in_flight_.end()) {
@@ -49,6 +51,8 @@ sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
   }
   ++outstanding_;
   peak_outstanding_ = std::max(peak_outstanding_, outstanding_);
+  trace::gauge("drc.outstanding", trace::Track{},
+               static_cast<double>(outstanding_));
   auto event = std::make_shared<sim::Event>(*engine_);
   in_flight_.emplace(pid, event);
 
@@ -63,6 +67,7 @@ sim::Task<Status> DrcService::acquire(int pid, int job, int node_id) {
   audit::acquire(audit::Resource::kDrcCredential, drc_owner(pid));
   jobs_on_node_[node_id].insert(job);
   ++granted_;
+  trace::count("drc.granted");
   in_flight_.erase(pid);
   event->set();
   co_return Status::ok();

@@ -2,6 +2,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "trace/trace.h"
+
 namespace imc::net {
 
 int Fabric::hop_count(const hpc::Node& src, const hpc::Node& dst) const {
@@ -57,7 +59,22 @@ double Fabric::reserve_transfer(hpc::Node& src, hpc::Node& dst,
 
 sim::Task<> Fabric::transfer(hpc::Node& src, hpc::Node& dst,
                              std::uint64_t bytes, double bandwidth_cap) {
+  const double now = engine_->now();
   const double done_at = reserve_transfer(src, dst, bytes, bandwidth_cap);
+  trace::Span span = trace::span("fabric.transfer", trace::Track{src.id(), 0});
+  if (span.active()) {
+    // Contention-wait: delay beyond the uncontended latency + serialization
+    // time, i.e. what NIC queueing added.
+    const bool local = &src == &dst;
+    const double ideal =
+        local ? static_cast<double>(bytes) / config_->shm_bandwidth +
+                    config_->shm_latency
+              : latency(src, dst) + static_cast<double>(bytes) /
+                                        effective_bandwidth(bandwidth_cap);
+    span.arg("bytes", static_cast<double>(bytes));
+    span.arg("hops", hop_count(src, dst));
+    span.arg("contention_wait", std::max(0.0, (done_at - now) - ideal));
+  }
   co_await engine_->sleep(done_at - engine_->now());
 }
 

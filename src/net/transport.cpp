@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace imc::net {
 namespace {
 
@@ -89,6 +91,8 @@ sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
       co_return s;
     }
     src_registered = true;
+    trace::count("rdma.transient_registrations");
+    trace::count("rdma.transient_reg_bytes", static_cast<double>(reg_bytes));
   }
   if (!opts.dst_pinned) {
     if (Status s = to.node->rdma().register_memory(reg_bytes, kTransient);
@@ -96,6 +100,8 @@ sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
       if (src_registered) from.node->rdma().deregister(reg_bytes, kTransient);
       co_return s;
     }
+    trace::count("rdma.transient_registrations");
+    trace::count("rdma.transient_reg_bytes", static_cast<double>(reg_bytes));
   }
 
   if (kind_ == TransportKind::kRdmaNnti) {
@@ -185,7 +191,10 @@ sim::Task<Status> SocketTransport::transfer(const Endpoint& from,
                                std::to_string(to.node->id()));
     }
     // Multiplexing: wait for a free stream in the shared pool.
-    co_await it->second.slots->acquire();
+    {
+      TRACE_SPAN("socket.pool_wait", from.node->id(), 0);
+      co_await it->second.slots->acquire();
+    }
     co_await engine_->sleep(kSocketPerTransferOverhead);
     co_await fabric_->transfer(*from.node, *to.node, bytes,
                                fabric_->config().socket_copy_bandwidth);

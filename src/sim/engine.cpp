@@ -79,12 +79,22 @@ void Engine::reap_processes() {
   // Reclaim processes still parked on primitives (e.g. servers waiting for
   // requests that will never come after the workflow finished).
   // Destroying a suspended coroutine unwinds its locals, which cascades into
-  // any child Task frames it owns.
+  // any child Task frames it owns. Unwinding runs observable destructors
+  // (trace spans, resource auditors), so reap in spawn order — the map's own
+  // iteration order hashes frame addresses and varies with allocator
+  // history.
   auto roots = std::move(roots_);
   roots_.clear();
-  for (auto& [addr, handle] : roots) {
+  std::vector<Root> order;
+  order.reserve(roots.size());
+  for (auto& [addr, root] : roots) {
     (void)addr;
-    handle.destroy();
+    order.push_back(root);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Root& a, const Root& b) { return a.seq < b.seq; });
+  for (const Root& root : order) {
+    root.handle.destroy();
   }
 }
 
@@ -143,7 +153,7 @@ void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
 void Engine::spawn(Task<> task) {
   RootTask root = make_root(std::move(task));
   root.handle.promise().engine = this;
-  roots_.emplace(root.handle.address(), root.handle);
+  roots_.emplace(root.handle.address(), Root{root.handle, next_root_seq_++});
   schedule_now(root.handle);
 }
 

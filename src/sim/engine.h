@@ -166,8 +166,16 @@ class Engine {
   std::vector<Event> ready_;     // [ready_head_, end) sorted by (key, seq)
   std::size_t ready_head_ = 0;   // next ready event to resume
   // Live detached processes, keyed by frame address (handle recoverable via
-  // from_address). Needed so ~Engine can reclaim parked processes.
-  std::unordered_map<void*, std::coroutine_handle<>> roots_;
+  // from_address). Needed so ~Engine can reclaim parked processes. The spawn
+  // sequence number makes reap order deterministic: iterating the map follows
+  // pointer-hash order, which depends on allocator history, and frame
+  // destruction runs observable destructors (trace spans, auditors).
+  struct Root {
+    std::coroutine_handle<> handle;
+    std::uint64_t seq = 0;
+  };
+  std::unordered_map<void*, Root> roots_;
+  std::uint64_t next_root_seq_ = 0;
   std::vector<std::string> failures_;
   std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // arbitrary non-zero start
   std::size_t events_processed_ = 0;

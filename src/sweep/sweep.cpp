@@ -8,6 +8,7 @@
 #include "common/audit.h"
 #include "common/env.h"
 #include "common/log.h"
+#include "trace/trace.h"
 
 namespace imc::sweep {
 namespace {
@@ -58,11 +59,12 @@ void Pool::run_indexed(std::size_t n,
   }
 
   std::vector<std::string> logs(n);
+  std::vector<std::vector<trace::RunChunk>> chunks(n);
   std::vector<std::exception_ptr> errors(n);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
 
-  auto work = [&logs, &errors, &next, &abort, &fn, n] {
+  auto work = [&logs, &chunks, &errors, &next, &abort, &fn, n] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
@@ -70,6 +72,7 @@ void Pool::run_indexed(std::size_t n,
       audit::Auditor auditor;
       audit::ScopedAuditor audit_scope(auditor);
       ScopedLogBuffer log_buffer;
+      trace::ScopedTraceBuffer trace_buffer;
       try {
         fn(i);
       } catch (...) {
@@ -77,6 +80,7 @@ void Pool::run_indexed(std::size_t n,
         abort.store(true, std::memory_order_release);
       }
       logs[i] = log_buffer.take();
+      chunks[i] = trace_buffer.take();
     }
   };
 
@@ -88,7 +92,14 @@ void Pool::run_indexed(std::size_t n,
   // every started job has either a result slot or an exception recorded.
   for (auto& worker : workers) worker.join();
 
-  for (const auto& log : logs) write_log_output(log);
+  // Flush per-job captures in submission order so log bytes and trace
+  // chunks land identically at every worker count.
+  for (std::size_t i = 0; i < n; ++i) {
+    write_log_output(logs[i]);
+    for (trace::RunChunk& chunk : chunks[i]) {
+      trace::emit_chunk(std::move(chunk));
+    }
+  }
   for (auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
 
 #include "common/audit.h"
 #include "common/rng.h"
+#include "trace/trace.h"
 
 #include "adios/adios.h"
 #include "apps/analysis.h"
@@ -74,6 +76,13 @@ bool is_dimes(MethodSel m) {
 bool via_adios(MethodSel m) {
   return m == MethodSel::kMpiIo || m == MethodSel::kDataspacesAdios ||
          m == MethodSel::kDimesAdios || m == MethodSel::kFlexpath;
+}
+
+// Trace chunk label: enough to tell runs apart in a sweep's shared sink.
+std::string run_label(const Spec& spec) {
+  return std::string(to_string(spec.app)) + " " +
+         std::string(to_string(spec.method)) + " " + spec.machine.name + " " +
+         std::to_string(spec.nsim) + "x" + std::to_string(spec.nana);
 }
 
 // Unified per-rank writer application.
@@ -350,13 +359,17 @@ sim::Task<> sim_rank(Ctx& ctx, int r) {
 
   auto& staging_s = ctx.sim_staging[static_cast<std::size_t>(r)];
   auto& compute_s = ctx.sim_compute[static_cast<std::size_t>(r)];
+  const trace::Track track{self.node->id(), self.pid};
   for (int step = 0; step < spec.steps; ++step) {
     // Compute phase: the real micro-kernel plus the calibrated cost.
     app.advance(ctx.run_kernel);
     const double dt =
         spec.compute_scale *
         spec.machine.relative_compute_time(app.titan_step_seconds());
-    co_await ctx.engine.sleep(dt);
+    {
+      TRACE_SPAN("sim.compute", track.node, track.tid);
+      co_await ctx.engine.sleep(dt);
+    }
     compute_s += dt;
 
     // Output phase. GPU-resident data crosses PCIe first (§IV-B): none of
@@ -380,6 +393,8 @@ sim::Task<> sim_rank(Ctx& ctx, int r) {
       ctx.sim_gpu_copy[static_cast<std::size_t>(r)] += copy;
     }
     const double t0 = ctx.engine.now();
+    trace::Span staging_span = trace::span("sim.staging", track);
+    staging_span.arg("step", step);
     Status st;
     if (via_adios(spec.method)) {
       if (spec.method == MethodSel::kMpiIo) {
@@ -397,6 +412,7 @@ sim::Task<> sim_rank(Ctx& ctx, int r) {
     } else {
       st = co_await dimes_client->put(var, slab);
     }
+    staging_span.end();
     staging_s += ctx.engine.now() - t0;
     if (!st.is_ok()) {
       ctx.fail("sim rank " + std::to_string(r) + " step " +
@@ -513,10 +529,13 @@ sim::Task<> ana_rank(Ctx& ctx, int a) {
 
   auto& staging_s = ctx.ana_staging[static_cast<std::size_t>(a)];
   auto& compute_s = ctx.ana_compute[static_cast<std::size_t>(a)];
+  const trace::Track track{self.node->id(), self.pid};
   nda::Slab reference;
   for (int step = 0; step < spec.steps; ++step) {
     const nda::VarDesc var = global_desc(spec, step);
     const double t0 = ctx.engine.now();
+    trace::Span staging_span = trace::span("ana.staging", track);
+    staging_span.arg("step", step);
     Result<nda::Slab> got = Status::ok();
     if (via_adios(spec.method)) {
       if (spec.method == MethodSel::kMpiIo) {
@@ -543,6 +562,7 @@ sim::Task<> ana_rank(Ctx& ctx, int a) {
         got = st;
       }
     }
+    staging_span.end();
     staging_s += ctx.engine.now() - t0;
     if (!got.has_value()) {
       ctx.fail("analytics rank " + std::to_string(a) + " step " +
@@ -567,7 +587,10 @@ sim::Task<> ana_rank(Ctx& ctx, int a) {
     }
     const double dt =
         spec.compute_scale * spec.machine.relative_compute_time(titan_seconds);
-    co_await ctx.engine.sleep(dt);
+    {
+      TRACE_SPAN("ana.compute", track.node, track.tid);
+      co_await ctx.engine.sleep(dt);
+    }
     compute_s += dt;
 
     if (via_adios(spec.method)) {
@@ -616,12 +639,17 @@ sim::Task<> decaf_producer(Ctx& ctx, int r) {
   }
   auto& staging_s = ctx.sim_staging[static_cast<std::size_t>(r)];
   auto& compute_s = ctx.sim_compute[static_cast<std::size_t>(r)];
+  const net::Endpoint self = ctx.sim_ep(r);
+  const trace::Track track{self.node->id(), self.pid};
   for (int step = 0; step < spec.steps; ++step) {
     app.advance(ctx.run_kernel);
     const double dt =
         spec.compute_scale *
         spec.machine.relative_compute_time(app.titan_step_seconds());
-    co_await ctx.engine.sleep(dt);
+    {
+      TRACE_SPAN("sim.compute", track.node, track.tid);
+      co_await ctx.engine.sleep(dt);
+    }
     compute_s += dt;
     if (spec.gpu_resident_output && !spec.use_gpudirect) {
       const std::uint64_t out_bytes =
@@ -632,7 +660,10 @@ sim::Task<> decaf_producer(Ctx& ctx, int r) {
       ctx.sim_gpu_copy[static_cast<std::size_t>(r)] += copy;
     }
     const double t0 = ctx.engine.now();
+    trace::Span staging_span = trace::span("sim.staging", track);
+    staging_span.arg("step", step);
     Status st = co_await ctx.dflow->put(r, app.desc(step), app.output(step));
+    staging_span.end();
     staging_s += ctx.engine.now() - t0;
     if (!st.is_ok()) {
       ctx.fail("decaf producer " + std::to_string(r) + " step " +
@@ -667,11 +698,16 @@ sim::Task<> decaf_consumer(Ctx& ctx, int a) {
   }
   auto& staging_s = ctx.ana_staging[static_cast<std::size_t>(a)];
   auto& compute_s = ctx.ana_compute[static_cast<std::size_t>(a)];
+  const net::Endpoint self = ctx.ana_ep(a);
+  const trace::Track track{self.node->id(), self.pid};
   nda::Slab reference;
   for (int step = 0; step < spec.steps; ++step) {
     const nda::VarDesc var = global_desc(spec, step);
     const double t0 = ctx.engine.now();
+    trace::Span staging_span = trace::span("ana.staging", track);
+    staging_span.arg("step", step);
     auto got = co_await ctx.dflow->get(a, var, my_box);
+    staging_span.end();
     staging_s += ctx.engine.now() - t0;
     if (!got.has_value()) {
       ctx.fail("decaf consumer " + std::to_string(a) + " step " +
@@ -691,7 +727,10 @@ sim::Task<> decaf_consumer(Ctx& ctx, int a) {
     }
     const double dt =
         spec.compute_scale * spec.machine.relative_compute_time(titan_seconds);
-    co_await ctx.engine.sleep(dt);
+    {
+      TRACE_SPAN("ana.compute", track.node, track.tid);
+      co_await ctx.engine.sleep(dt);
+    }
     compute_s += dt;
   }
   ctx.ana_done[static_cast<std::size_t>(a)] = ctx.engine.now();
@@ -710,6 +749,35 @@ RunResult run(const Spec& spec) {
   audit::ScopedAuditor audit_scope(auditor);
   RunResult result;
   Ctx ctx(spec);
+  // Tracing rides the same per-world binding scheme: when a sink is
+  // installed (IMC_TRACE=<path> or a test sink) each run records into its
+  // own Recorder, stamped exclusively with ctx.engine's simulated clock.
+  std::unique_ptr<trace::Recorder> recorder;
+  std::optional<trace::ScopedRecorder> trace_scope;
+  if (trace::enabled()) {
+    recorder = std::make_unique<trace::Recorder>(ctx.engine, run_label(spec),
+                                                 trace::event_limit());
+    trace_scope.emplace(*recorder);
+  }
+  // Phase skeleton: deploy -> run -> teardown, pinned so truncation never
+  // drops them. Inert (zero-cost beyond a null check) when tracing is off.
+  std::optional<trace::Span> phase;
+  phase.emplace(trace::span("workflow.deploy", trace::Track{}));
+  phase->pin();
+  // Folds this run's events into a chunk for the sink; safe to call on any
+  // exit path once (no-op when tracing is off).
+  auto finish_trace = [&result, &recorder, &trace_scope, &phase] {
+    if (!recorder) {
+      phase.reset();
+      return;
+    }
+    phase.reset();
+    trace_scope.reset();
+    trace::RunChunk chunk = recorder->take_chunk();
+    result.trace_digest = chunk.digest;
+    trace::emit_chunk(std::move(chunk));
+    recorder.reset();
+  };
   if (spec.record_schedule_trace) ctx.engine.record_trace(1u << 18);
   ctx.run_kernel = spec.nsim <= 64;
   ctx.sim_finished = std::make_unique<sim::Event>(ctx.engine);
@@ -720,6 +788,7 @@ RunResult run(const Spec& spec) {
   if (spec.shared_node_mode && !spec.machine.allows_node_sharing) {
     result.failures.push_back(spec.machine.name +
                               " does not allow two executables per node");
+    finish_trace();
     return result;
   }
   if (spec.shared_node_mode && spec.method == MethodSel::kDecaf &&
@@ -727,10 +796,12 @@ RunResult run(const Spec& spec) {
     result.failures.push_back(
         "Decaf needs heterogeneous MPI launch, unsupported on " +
         spec.machine.name);
+    finish_trace();
     return result;
   }
   if (spec.gpu_resident_output && spec.machine.gpu_memory_per_node == 0) {
     result.failures.push_back(spec.machine.name + " has no GPUs");
+    finish_trace();
     return result;
   }
 
@@ -817,6 +888,7 @@ RunResult run(const Spec& spec) {
     const int nodes = (servers + c.servers_per_node - 1) / c.servers_per_node;
     if (Status st = ds->deploy(staging_nodes(nodes)); !st.is_ok()) {
       result.failures.push_back("deploy: " + st.to_string());
+      finish_trace();
       return result;
     }
     ctx.ds = std::move(ds);
@@ -834,6 +906,7 @@ RunResult run(const Spec& spec) {
     const int nodes = (servers + c.servers_per_node - 1) / c.servers_per_node;
     if (Status st = dm->deploy(staging_nodes(nodes)); !st.is_ok()) {
       result.failures.push_back("deploy: " + st.to_string());
+      finish_trace();
       return result;
     }
     ctx.dimes = std::move(dm);
@@ -932,6 +1005,8 @@ RunResult run(const Spec& spec) {
     for (int a = 0; a < spec.nana; ++a) ctx.engine.spawn(ana_rank(ctx, a));
   }
 
+  phase.emplace(trace::span("workflow.run", trace::Track{}));
+  phase->pin();
   ctx.engine.run();
 
   // Assemble the result.
@@ -1014,6 +1089,8 @@ RunResult run(const Spec& spec) {
     result.socket_peak = std::max(result.socket_peak, node.sockets().peak());
   }
 
+  phase.emplace(trace::span("workflow.teardown", trace::Track{}));
+  phase->pin();
   if (ctx.ds) ctx.ds->shutdown();
   if (ctx.dimes) ctx.dimes->shutdown();
   ctx.engine.run();  // drain the server shutdowns
@@ -1037,6 +1114,7 @@ RunResult run(const Spec& spec) {
   result.bytes_moved = ctx.fabric.bytes_transferred();
   if (spec.record_schedule_trace) result.schedule_trace = ctx.engine.trace();
   result.leaks = auditor.leaks();
+  finish_trace();
   return result;
 }
 

@@ -142,6 +142,7 @@ struct RunResult {
   double bytes_moved = 0;             // fabric bytes moved
   std::vector<std::string> leaks;     // auditor report after full teardown
   std::vector<sim::Engine::TraceEntry> schedule_trace;  // when requested
+  std::uint64_t trace_digest = 0;     // imc::trace chunk digest (0 when off)
 
   // One-line verdict for tables.
   std::string failure_summary() const;
