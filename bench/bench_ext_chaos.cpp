@@ -1,0 +1,203 @@
+// Extension experiment: chaos sweep — fault injection and recovery across
+// all five in-memory methods.
+//
+// The paper's Table IV catalogues how the staging libraries die when a
+// resource runs out; this bench injects the *operational* failures the
+// paper's production context implies (staging-server crash, lossy or
+// degraded links, transient RDMA registration flaps) and measures what the
+// recovery machinery in imc::fault buys: typed failures instead of aborts,
+// ridden-out transients, and graceful degradation to the MPI-IO file path
+// when a staging method loses its servers mid-run.
+//
+// Every fault decision is a pure function of (IMC_FAULT_SEED, operation
+// identity, attempt) — never of the event schedule or clock — so stdout and
+// trace digests are byte-identical at every IMC_THREADS, and the
+// chaos-invariant-digest (outcomes + recovery counts + failures) is
+// byte-identical under every IMC_SCHEDULE (fifo / lifo / shuffle). The CI
+// chaos gate diffs exactly those two.
+//
+// Knobs: IMC_FAULT_SEED (plan seed), IMC_FAULT_BACKOFF (transport retry
+// initial backoff, seconds), IMC_SCHEDULE (tie-break policy).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+
+using namespace imc;
+using workflow::MethodSel;
+
+namespace {
+
+struct PlanRow {
+  const char* name;
+  fault::Plan plan;
+  bool fallback;
+};
+
+sim::Schedule schedule_from_env() {
+  const std::string which = env::str_or_die("IMC_SCHEDULE", "fifo");
+  sim::Schedule schedule;
+  if (which == "fifo") {
+    schedule.tie_break = sim::TieBreak::kFifo;
+  } else if (which == "lifo") {
+    schedule.tie_break = sim::TieBreak::kLifo;
+  } else if (which == "shuffle") {
+    schedule.tie_break = sim::TieBreak::kSeededShuffle;
+    schedule.seed = 0x9e3779b97f4a7c15ull;
+  } else {
+    std::fprintf(stderr,
+                 "imc: IMC_SCHEDULE=%s invalid (want fifo|lifo|shuffle)\n",
+                 which.c_str());
+    std::exit(2);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension: chaos sweep",
+                      "fault injection + recovery across the five methods");
+
+  const auto seed = static_cast<std::uint64_t>(
+      env::int_or_die("IMC_FAULT_SEED", 0x5eedfa17, 1, 1ll << 62));
+  const double backoff =
+      env::double_or_die("IMC_FAULT_BACKOFF", 5e-4, 1e-6, 1.0);
+  const sim::Schedule schedule = schedule_from_env();
+
+  const MethodSel kMethods[] = {MethodSel::kMpiIo,
+                                MethodSel::kDataspacesNative,
+                                MethodSel::kDimesNative, MethodSel::kFlexpath,
+                                MethodSel::kDecaf};
+
+  // The three chaos plans. Times are virtual seconds into the run.
+  PlanRow plans[3];
+  plans[0].name = "server-crash";
+  plans[0].plan.server_crash.at = 0.0123;  // before the first publish
+  plans[0].plan.server_crash.server = 0;
+  plans[0].fallback = true;  // degrade to MPI-IO when staging dies
+  plans[1].name = "link-loss";
+  plans[1].plan.packet_loss = 0.15;
+  plans[1].plan.link_degrade = {0.05, 0.4, 0.5};  // half bandwidth window
+  plans[1].fallback = false;
+  plans[2].name = "rdma-flap";
+  plans[2].plan.rdma_flap = 0.25;
+  plans[2].fallback = false;
+  for (PlanRow& row : plans) {
+    row.plan.seed = seed;
+    row.plan.transport_retry.initial_backoff = backoff;
+    row.plan.transport_retry.max_attempts = 6;
+  }
+
+  std::printf("\nLAMMPS+MSD, (32,16), Titan, 20 MB/proc/step, seed=0x%llx\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%-20s %14s %14s %14s\n", "method", plans[0].name,
+              plans[1].name, plans[2].name);
+
+  std::vector<workflow::Spec> specs;
+  for (MethodSel method : kMethods) {
+    for (const PlanRow& row : plans) {
+      workflow::Spec spec;
+      spec.app = workflow::AppSel::kLammps;
+      spec.method = method;
+      spec.machine = hpc::titan();
+      spec.nsim = 32;
+      spec.nana = 16;
+      spec.steps = 3;
+      spec.schedule = schedule;
+      spec.fault = row.plan;
+      spec.fallback.to_mpi_io = row.fallback;
+      specs.push_back(spec);
+    }
+  }
+  const auto results = bench::run_all(specs);
+
+  std::size_t i = 0;
+  for (MethodSel method : kMethods) {
+    std::printf("%-20s", std::string(workflow::to_string(method)).c_str());
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto& result = results[i + p];
+      if (result.ok && result.fault.fallback_activated) {
+        std::printf(" %12s", "RECOVERED");
+      } else if (result.ok) {
+        std::printf(" %12.2fs", result.end_to_end);
+      } else {
+        std::printf(" %13s", bench::cell(result).c_str() + 2);
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    i += 3;
+  }
+
+  // Machine-parseable per-scenario recovery metrics (scripts/bench.py folds
+  // these into BENCH_perf.json). Counts are schedule-invariant by the
+  // determinism contract; times are deterministic per schedule.
+  std::printf("\n");
+  i = 0;
+  for (MethodSel method : kMethods) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto& r = results[i + p];
+      std::printf(
+          "recovery: method=%s plan=%s ok=%d fallback=%d "
+          "time_to_recover=%.6f retries=%llu injected=%llu dropped=%llu "
+          "timeouts=%llu crashes=%llu node_deaths=%llu failures=%zu "
+          "end_to_end=%.6f\n",
+          std::string(workflow::to_string(method)).c_str(), plans[p].name,
+          r.ok ? 1 : 0, r.fault.fallback_activated ? 1 : 0,
+          r.fault.time_to_recover,
+          static_cast<unsigned long long>(r.fault.retries),
+          static_cast<unsigned long long>(r.fault.injected),
+          static_cast<unsigned long long>(r.fault.dropped_ops),
+          static_cast<unsigned long long>(r.fault.timeouts),
+          static_cast<unsigned long long>(r.fault.server_crashes),
+          static_cast<unsigned long long>(r.fault.node_deaths),
+          r.failures.size(), r.end_to_end);
+    }
+    i += 3;
+  }
+  std::fflush(stdout);
+
+  // Fold the schedule-invariant facts of every scenario into one digest:
+  // outcomes, recovery counts, and sorted failure texts — everything the
+  // fault determinism contract pins. Raw span timings are excluded; under
+  // contention the engine's same-instant service order legitimately shifts
+  // them by microseconds across tie-break policies (see src/check/check.h).
+  // CI diffs this line across IMC_SCHEDULE=fifo/lifo/shuffle and the whole
+  // stdout across IMC_THREADS.
+  std::uint64_t invariant = 0x1b873593u;
+  auto fold = [&invariant](std::uint64_t v) {
+    invariant = splitmix64(invariant ^ v);
+  };
+  for (const auto& r : results) {
+    fold(r.ok ? 1 : 0);
+    fold(r.fault.fallback_activated ? 1 : 0);
+    fold(r.fault.retries);
+    fold(r.fault.injected);
+    fold(r.fault.dropped_ops);
+    fold(r.fault.timeouts);
+    fold(r.fault.server_crashes);
+    fold(r.fault.node_deaths);
+    fold(r.transfers);
+    std::vector<std::string> failures = r.failures;
+    std::sort(failures.begin(), failures.end());
+    for (const auto& f : failures) {
+      for (unsigned char c : f) fold(c);
+    }
+  }
+  std::printf("\nchaos-invariant-digest: 0x%016llx\n",
+              static_cast<unsigned long long>(invariant));
+
+  // Zero-abort contract: a chaos run either completes, recovers through the
+  // fallback, or reports typed failures — it never dies silently.
+  for (const auto& r : results) {
+    if (!r.ok && r.failures.empty()) {
+      std::printf("ABORT: a chaos run failed without a typed failure\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -31,6 +31,7 @@ import argparse
 import hashlib
 import json
 import os
+import re
 import subprocess
 import sys
 import time
@@ -56,6 +57,7 @@ SCENARIOS = [
     "bench_tab5_findings",
     "bench_ablation",
     "bench_ext_gpu",
+    "bench_ext_chaos",
 ]
 SMOKE_SCENARIOS = ["bench_tab1_configurations", "bench_fig6_index_cost"]
 
@@ -94,9 +96,36 @@ TRACE_OVERHEAD_FILTER = ("BM_TraceSpanDisabled$|BM_BoxQueryIndex$|"
 # The per-run event cap bounds the fig2 artifact to tens of MB; the cap
 # feeds the digest, so it is pinned here rather than inherited.
 TRACE_DIGEST_SCENARIOS = ["bench_tab4_robustness", "bench_fig11_decaf_servers",
-                          "bench_fig2_end_to_end"]
+                          "bench_fig2_end_to_end", "bench_ext_chaos"]
 TRACE_DIGEST_THREADS = (1, 2, 8)
 TRACE_DIGEST_EVENT_CAP = "4096"
+
+
+# bench_ext_chaos emits one machine-parseable line per (method, plan) cell;
+# the per-scenario recovery metrics (retries ridden out, injected faults,
+# MPI-IO fallback activations, virtual time-to-recover) land in the report
+# next to the stdout hash so chaos-recovery regressions diff like perf ones.
+RECOVERY_LINE = re.compile(rb"^recovery: (.+)$", re.MULTILINE)
+CHAOS_DIGEST_LINE = re.compile(rb"^chaos-invariant-digest: (0x[0-9a-f]+)$",
+                               re.MULTILINE)
+
+
+def parse_recovery(stdout):
+    """Parses `recovery: k=v ...` lines into a list of typed records."""
+    records = []
+    for match in RECOVERY_LINE.finditer(stdout):
+        record = {}
+        for pair in match.group(1).decode().split():
+            key, _, value = pair.partition("=")
+            try:
+                record[key] = int(value)
+            except ValueError:
+                try:
+                    record[key] = float(value)
+                except ValueError:
+                    record[key] = value
+        records.append(record)
+    return records
 
 
 def run(cmd, **kwargs):
@@ -221,6 +250,13 @@ def run_scenarios(build_dir, names, timeout, threads=None):
             "stdout_sha256": hashlib.sha256(proc.stdout).hexdigest(),
             "stdout_lines": proc.stdout.count(b"\n"),
         }
+        recovery = parse_recovery(proc.stdout)
+        if recovery:
+            results[name]["recovery"] = recovery
+            digest = CHAOS_DIGEST_LINE.search(proc.stdout)
+            if digest:
+                results[name]["chaos_invariant_digest"] = \
+                    digest.group(1).decode()
         print(f"  {name}{label}: {elapsed:.2f}s, "
               f"{results[name]['stdout_lines']} lines", flush=True)
     return results

@@ -109,4 +109,57 @@ fi
 echo "trace digests identical at IMC_THREADS=1 and 2: $d1"
 rm -f "$smoke/fig2.trace.t1.json" "$smoke/fig2.trace.t2.json"
 
+# Chaos smoke: the fault-injection sweep must be deterministic two ways.
+# Across IMC_THREADS the whole stdout (tables, recovery lines, digest) and
+# the trace digest are byte-identical; across IMC_SCHEDULE tie-break
+# policies the chaos-invariant-digest line (outcomes + recovery counts +
+# sorted failures) is byte-identical while raw span timings may legitimately
+# shift (see src/check/check.h on same-instant contention). The trace must
+# also carry the fault.* spans/counters the Perfetto walkthrough documents.
+echo "==> chaos smoke (bench_ext_chaos: thread/schedule determinism + fault trace)"
+cmake --build "$smoke" -j "$(nproc)" --target bench_ext_chaos
+chaos="$smoke/bench/bench_ext_chaos"
+IMC_THREADS=1 IMC_TRACE_EVENTS=4096 IMC_TRACE="$smoke/chaos.trace.t1.json" \
+  "$chaos" >"$smoke/chaos.t1.out"
+IMC_THREADS=2 IMC_TRACE_EVENTS=4096 IMC_TRACE="$smoke/chaos.trace.t2.json" \
+  "$chaos" >"$smoke/chaos.t2.out"
+if ! cmp -s "$smoke/chaos.t1.out" "$smoke/chaos.t2.out"; then
+  echo "FAIL: chaos stdout depends on IMC_THREADS" >&2
+  diff "$smoke/chaos.t1.out" "$smoke/chaos.t2.out" >&2 || true
+  exit 1
+fi
+echo "chaos stdout identical at IMC_THREADS=1 and 2"
+python3 "$repo/scripts/check_trace.py" "$smoke/chaos.trace.t1.json" \
+  --require fault --require workflow
+c1="$(python3 "$repo/scripts/check_trace.py" "$smoke/chaos.trace.t1.json" \
+  --print-digest)"
+c2="$(python3 "$repo/scripts/check_trace.py" "$smoke/chaos.trace.t2.json" \
+  --print-digest)"
+if [ "$c1" != "$c2" ]; then
+  echo "FAIL: chaos trace digest depends on IMC_THREADS: $c1 vs $c2" >&2
+  exit 1
+fi
+echo "chaos trace digests identical at IMC_THREADS=1 and 2: $c1"
+fifo_digest="$(grep '^chaos-invariant-digest:' "$smoke/chaos.t1.out")"
+for sched in lifo shuffle; do
+  sched_digest="$(IMC_SCHEDULE=$sched IMC_THREADS=2 "$chaos" |
+    grep '^chaos-invariant-digest:')"
+  if [ "$fifo_digest" != "$sched_digest" ]; then
+    echo "FAIL: chaos outcomes depend on IMC_SCHEDULE=$sched:" \
+         "$fifo_digest vs $sched_digest" >&2
+    exit 1
+  fi
+done
+echo "chaos invariant digest identical across fifo/lifo/shuffle:" \
+     "${fifo_digest#chaos-invariant-digest: }"
+rm -f "$smoke/chaos.trace.t1.json" "$smoke/chaos.trace.t2.json" \
+      "$smoke/chaos.t1.out" "$smoke/chaos.t2.out"
+
+# TSan over the chaos sweep: fault injection threads per-world injector
+# state through the same thread-local bindings as audit/trace; the chaos
+# run on the sweep pool is where a missed binding would race.
+echo "==> TSan (chaos sweep)"
+cmake --build "$tsan_build" -j "$(nproc)" --target bench_ext_chaos
+IMC_THREADS=8 "$tsan_build/bench/bench_ext_chaos" >/dev/null
+
 echo "==> CI OK"

@@ -15,6 +15,11 @@ Flags constructions that break determinism or silently drop errors:
   trace-real-time   (path-scoped) any std::chrono / time( / clock_gettime
                     in the trace layer or an instrumented subsystem — trace
                     timestamps must be simulated time from sim::Engine
+  adhoc-retry       a for/while loop whose header mentions `attempt` and
+                    whose body sleeps — ad-hoc retry loops fork the backoff
+                    and jitter policy; outside src/fault/ all retrying must
+                    go through fault::retry / fault::ride_out so attempts,
+                    timeouts, and dropped ops land in one accounted place
 
 Suppress a finding by putting `imc-lint: allow(<rule>)` in a comment on the
 offending line (or the line above), stating why.
@@ -40,7 +45,14 @@ RULES = [
 ]
 
 LAMBDA_REF_CAPTURE = re.compile(r"(?<![\w\]])\[\s*&")
+RETRY_LOOP = re.compile(r"\b(?:for|while)\s*\(")
+SLEEP_CALL = re.compile(r"\bsleep\s*\(")
 ALLOW = re.compile(r"imc-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+def in_fault_layer(path):
+    """src/fault/ is the one place retry loops are allowed to live."""
+    return "fault" in os.path.normpath(path).split(os.sep)
 
 # Directories where imc::trace records events: src/trace itself plus every
 # instrumented subsystem. A real-time call here would stamp wall-clock time
@@ -146,6 +158,51 @@ def lambda_body_has_await(code, start):
     return False
 
 
+def retry_loop_sleeps(code, start):
+    """From a `for (` / `while (` match, flag loops that hand-roll backoff.
+
+    Paren-matches the loop header; if it names an attempt counter, brace-
+    matches the loop body and reports whether it sleeps (engine.sleep,
+    co_await ...sleep(...), etc.) — the shape of an ad-hoc retry loop.
+    """
+    open_paren = code.find("(", start)
+    if open_paren == -1:
+        return False
+    depth = 0
+    i = open_paren
+    while i < len(code):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    if i >= len(code):
+        return False
+    if "attempt" not in code[open_paren:i].lower():
+        return False
+    # Skip to the loop body; a bare `;` body or statement-loop can't hide a
+    # multi-line retry dance, so only braced bodies are scanned.
+    j = i + 1
+    limit = min(len(code), j + 200)
+    while j < limit and code[j] not in "{;":
+        j += 1
+    if j >= limit or code[j] != "{":
+        return False
+    depth = 0
+    body_start = j
+    while j < len(code):
+        if code[j] == "{":
+            depth += 1
+        elif code[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return bool(SLEEP_CALL.search(code[body_start:j]))
+        j += 1
+    return False
+
+
 def lint_file(path):
     with open(path, encoding="utf-8") as f:
         text = f.read()
@@ -171,6 +228,15 @@ def lint_file(path):
         if lambda_body_has_await(code, m.start()):
             findings.append((path, lineno, "ref-capture-await",
                             raw_lines[lineno - 1]))
+
+    if not in_fault_layer(path):
+        for m in RETRY_LOOP.finditer(code):
+            lineno = code.count("\n", 0, m.start()) + 1
+            if "adhoc-retry" in allowed_rules(raw_lines, lineno):
+                continue
+            if retry_loop_sleeps(code, m.start()):
+                findings.append((path, lineno, "adhoc-retry",
+                                raw_lines[lineno - 1]))
     return findings
 
 

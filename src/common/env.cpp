@@ -1,6 +1,7 @@
 #include "common/env.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +52,31 @@ Result<long long> parse_int(const char* name, const char* value,
   return parsed;
 }
 
+Result<double> parse_double(const char* name, const char* value,
+                            double fallback, double min, double max) {
+  if (value == nullptr || value[0] == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      std::string(name) + "=\"" + value +
+                          "\" is not a number; expected a finite decimal "
+                          "in [" +
+                          std::to_string(min) + ", " + std::to_string(max) +
+                          "]");
+  }
+  if (parsed < min || parsed > max) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      std::string(name) + "=" + value +
+                          " is out of range; expected [" +
+                          std::to_string(min) + ", " + std::to_string(max) +
+                          "]");
+  }
+  return parsed;
+}
+
 Result<std::string> parse_str(const char* name, const char* value,
                               const char* fallback) {
   if (value == nullptr) return std::string(fallback);
@@ -74,6 +100,14 @@ long long int_or_die(const char* name, long long fallback, long long min,
                      long long max) {
   Result<long long> parsed =
       parse_int(name, std::getenv(name), fallback, min, max);
+  if (!parsed.has_value()) die(parsed.status());
+  return parsed.value();
+}
+
+double double_or_die(const char* name, double fallback, double min,
+                     double max) {
+  Result<double> parsed =
+      parse_double(name, std::getenv(name), fallback, min, max);
   if (!parsed.has_value()) die(parsed.status());
   return parsed.value();
 }

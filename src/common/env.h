@@ -31,6 +31,13 @@ Result<bool> parse_flag(const char* name, const char* value, bool fallback);
 Result<long long> parse_int(const char* name, const char* value,
                             long long fallback, long long min, long long max);
 
+// Floating-point knob (IMC_FAULT_BACKOFF and friends): unset or empty ->
+// fallback; otherwise a finite decimal in [min, max]. Trailing junk, NaN,
+// infinities, or out-of-range values -> kInvalidArgument, same contract as
+// parse_int so a typo'd backoff can't silently run the default plan.
+Result<double> parse_double(const char* name, const char* value,
+                            double fallback, double min, double max);
+
 // String knob (IMC_TRACE=<path>): unset -> fallback; set-but-empty ->
 // kInvalidArgument (an empty path is almost always a broken shell
 // expansion, and "run with tracing to nowhere" is not a useful default).
@@ -41,6 +48,8 @@ Result<std::string> parse_str(const char* name, const char* value,
 bool flag_or_die(const char* name, bool fallback);
 long long int_or_die(const char* name, long long fallback, long long min,
                      long long max);
+double double_or_die(const char* name, double fallback, double min,
+                     double max);
 std::string str_or_die(const char* name, const char* fallback);
 
 }  // namespace imc::env

@@ -38,6 +38,16 @@ std::string_view to_string(ErrorCode code) {
   return "UNKNOWN";
 }
 
+ErrorCode error_code_from_string(std::string_view name) {
+  // Walk the enum and compare against the canonical names so the two
+  // mappings can never drift apart (a new code only needs a to_string case).
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    const auto code = static_cast<ErrorCode>(i);
+    if (to_string(code) == name) return code;
+  }
+  return ErrorCode::kInternal;
+}
+
 std::string Status::to_string() const {
   std::string out(imc::to_string(code_));
   if (!message_.empty()) {

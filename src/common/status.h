@@ -38,6 +38,10 @@ enum class ErrorCode : std::uint8_t {
 
 std::string_view to_string(ErrorCode code);
 
+// Reverse mapping: "OUT_OF_RDMA_MEMORY" -> kOutOfRdmaMemory. Unknown names
+// -> kInternal (the round-trip tests pin to_string/from_string symmetry).
+ErrorCode error_code_from_string(std::string_view name);
+
 // A cheap, copyable status: code + optional human-readable context.
 class [[nodiscard]] Status {
  public:

@@ -5,6 +5,7 @@
 
 #include "common/audit.h"
 #include "common/log.h"
+#include "fault/fault.h"
 #include "net/fabric.h"
 #include "trace/trace.h"
 
@@ -46,6 +47,14 @@ Status DataSpaces::deploy(const std::vector<int>& staging_node_ids) {
   }
   for (auto& server : servers_) {
     engine_->spawn(server_loop(*server));
+  }
+  // Scheduled staging-server crash from the bound fault plan (if any).
+  if (fault::Injector* injector = fault::active()) {
+    const fault::Plan::ServerCrash& crash = injector->plan().server_crash;
+    if (crash.at >= 0 && crash.server >= 0 &&
+        crash.server < static_cast<int>(servers_.size())) {
+      engine_->spawn(crash_watcher(crash.server, crash.at));
+    }
   }
   return Status::ok();
 }
@@ -97,6 +106,12 @@ sim::Task<> DataSpaces::server_loop(Server& server) {
     if (std::holds_alternative<Shutdown>(request)) {
       teardown_server(server);
       break;
+    }
+    if (server.crashed) {
+      // A dead server answers nothing useful: every request gets a typed
+      // refusal so clients fail (or fall back) instead of parking forever.
+      refuse(server, request);
+      continue;
     }
     // Serialized per-request service on the single-threaded server.
     co_await engine_->sleep(kServerServiceSeconds);
@@ -210,20 +225,48 @@ void DataSpaces::handle_put_prep(Server& server, PutPrep& req) {
   req.reply->push(st);
 }
 
-sim::Task<> DataSpaces::retry_put_prep(Server& server, PutPrep req) {
-  Status st;
-  for (int attempt = 0; attempt < config_.max_retry_attempts; ++attempt) {
-    co_await engine_->sleep(config_.retry_interval_seconds);
-    if (attempt >= 1) {
-      // Waiting alone cannot help while the previous version stays pinned
-      // (its publish waits on this very put). max_versions=1 permits
-      // dropping versions older than the one arriving; lagging readers see
-      // NOT_FOUND — the same trade the real library makes.
-      evict_versions(server, req.var.name, req.var.version);
-    }
-    st = try_stage(server, req);
-    if (st.is_ok()) break;
+sim::Task<Status> DataSpaces::stage_attempt(Server& server,
+                                            const PutPrep& req, int attempt) {
+  if (server.crashed) {
+    co_return make_error(ErrorCode::kConnectionFailed,
+                         "staging server " + std::to_string(server.id) +
+                             " crashed");
   }
+  if (attempt >= 1) {
+    // Waiting alone cannot help while the previous version stays pinned
+    // (its publish waits on this very put). max_versions=1 permits
+    // dropping versions older than the one arriving; lagging readers see
+    // NOT_FOUND — the same trade the real library makes.
+    evict_versions(server, req.var.name, req.var.version);
+  }
+  co_return try_stage(server, req);
+}
+
+sim::Task<> DataSpaces::retry_put_prep(Server& server, PutPrep req) {
+  // The wait-and-retry resolve on the shared fault::RetryPolicy: a fixed
+  // interval (multiplier 1, no jitter) preserves the historical 50 ms
+  // cadence, and exhausting max_retry_attempts now surfaces a typed
+  // kTimeout wrapping the last resource error instead of silently dropping
+  // the put.
+  fault::RetryPolicy policy;
+  policy.max_attempts = config_.max_retry_attempts;
+  policy.initial_backoff = config_.retry_interval_seconds;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff = config_.retry_interval_seconds;
+  policy.jitter = 0.0;
+  policy.delay_first = true;
+  Status st = co_await fault::retry(
+      *engine_, policy, /*op_key=*/0, "ds put wait-and-retry",
+      [this, &server, &req](int attempt) {
+        return stage_attempt(server, req, attempt);
+      },
+      [](ErrorCode code) {
+        // Only resource exhaustion can clear as versions retire; a crashed
+        // server (kConnectionFailed) never will.
+        return code == ErrorCode::kOutOfRdmaMemory ||
+               code == ErrorCode::kOutOfRdmaHandlers ||
+               code == ErrorCode::kOutOfMemory;
+      });
   req.reply->push(st);
 }
 
@@ -296,6 +339,47 @@ void DataSpaces::teardown_server(Server& server) {
   server.index_charged.clear();
   server.memory->free(mem::Tag::kLibrary, config_.server_base_bytes);
   transport_->disconnect_all(server.endpoint);
+}
+
+void DataSpaces::refuse(const Server& server, Request& request) {
+  const Status refused = make_error(
+      ErrorCode::kConnectionFailed,
+      "staging server " + std::to_string(server.id) + " crashed");
+  if (auto* prep = std::get_if<PutPrep>(&request)) {
+    prep->reply->push(refused);
+  } else if (auto* get = std::get_if<GetReq>(&request)) {
+    get->reply->push(refused);
+  } else if (auto* publish = std::get_if<Publish>(&request)) {
+    if (publish->reply != nullptr) publish->reply->push(refused);
+  } else if (auto* wait = std::get_if<WaitVersion>(&request)) {
+    wait->reply->push(refused);
+  }
+  // PutCommit carries no reply queue; the payload is simply lost.
+}
+
+sim::Task<> DataSpaces::crash_watcher(int index, double at) {
+  co_await engine_->sleep(std::max(0.0, at - engine_->now()));
+  Server& server = *servers_[static_cast<std::size_t>(index)];
+  if (server.crashed) co_return;
+  server.crashed = true;
+  if (fault::Injector* injector = fault::active()) {
+    injector->note_server_crash();
+  }
+  {
+    trace::Span span = trace::span(
+        "fault.server_crash",
+        trace::Track{server.endpoint.node->id(), server.endpoint.pid});
+    span.arg("server", index);
+  }
+  // A dead master takes the version board with it: parked readers get a
+  // typed failure now instead of hanging to the end of the run.
+  if (server.id == 0) {
+    for (auto& waiter : board_.waiters) {
+      waiter.reply->push(make_error(ErrorCode::kConnectionFailed,
+                                    "staging server 0 crashed"));
+    }
+    board_.waiters.clear();
+  }
 }
 
 void DataSpaces::handle_publish(Server& server, const Publish& req) {
@@ -482,12 +566,14 @@ sim::Task<Status> DataSpaces::Client::publish(const nda::VarDesc& var) {
     server->queue->push(Publish{var.name, var.version, &acks});
   }
   // dspaces_unlock_on_write is synchronous: wait until every server applied
-  // the publish (and its eviction).
+  // the publish (and its eviction). A crashed server acks with an error,
+  // which the publisher must surface — its step's data is not readable.
+  Status worst = Status::ok();
   for (std::size_t i = 0; i < ds_->servers_.size(); ++i) {
-    // Pure completion signal, no payload. imc-lint: allow(discarded-await)
-    (void)co_await acks.pop();
+    Status ack = co_await acks.pop();
+    if (!ack.is_ok()) worst = std::move(ack);
   }
-  co_return Status::ok();
+  co_return worst;
 }
 
 sim::Task<Status> DataSpaces::Client::wait_version(const std::string& var,

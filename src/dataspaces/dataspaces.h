@@ -211,6 +211,10 @@ class DataSpaces {
     // entries are updated per version), charged on first contact.
     std::map<std::string, std::uint64_t, std::less<>> index_charged;
     ServerStats stats;
+    // Set by the fault layer's scheduled crash: a crashed server refuses
+    // every request with kConnectionFailed (but still honors Shutdown, so
+    // teardown keeps the leak ledger clean).
+    bool crashed = false;
   };
 
   // Version board (kept on server 0).
@@ -229,6 +233,14 @@ class DataSpaces {
   Status try_stage(Server& server, const PutPrep& req);
   void handle_put_prep(Server& server, PutPrep& req);
   sim::Task<> retry_put_prep(Server& server, PutPrep req);
+  // One attempt of the wait-and-retry loop (driven by fault::retry).
+  sim::Task<Status> stage_attempt(Server& server, const PutPrep& req,
+                                  int attempt);
+  // Scheduled staging-server crash (fault plan): marks the server crashed
+  // at time `at` and fails parked version waiters with a typed error.
+  sim::Task<> crash_watcher(int index, double at);
+  // Replies kConnectionFailed to whatever request a crashed server popped.
+  static void refuse(const Server& server, Request& request);
   void handle_put_commit(Server& server, PutCommit& req);
   void handle_publish(Server& server, const Publish& req);
   sim::Task<> run_get(Server& server, GetReq req);

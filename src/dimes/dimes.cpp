@@ -41,6 +41,13 @@ Status Dimes::deploy(const std::vector<int>& staging_node_ids) {
     servers_.push_back(std::move(server));
   }
   for (auto& server : servers_) engine_->spawn(server_loop(*server));
+  if (fault::Injector* injector = fault::active()) {
+    const fault::Plan::ServerCrash& crash = injector->plan().server_crash;
+    if (crash.at >= 0 && crash.server >= 0 &&
+        crash.server < static_cast<int>(servers_.size())) {
+      engine_->spawn(crash_watcher(crash.server, crash.at));
+    }
+  }
   return Status::ok();
 }
 
@@ -85,6 +92,13 @@ sim::Task<> Dimes::server_loop(Server& server) {
       server.memory->free(mem::Tag::kLibrary, config_.server_base_bytes);
       transport_->disconnect_all(server.endpoint);
       break;
+    }
+    if (server.crashed) {
+      // A crashed metadata server refuses instead of servicing (no service
+      // sleep either); Shutdown above still tears down normally, so the
+      // leak ledger stays clean.
+      refuse(server, request);
+      continue;
     }
     co_await engine_->sleep(kServerServiceSeconds);
     if (auto* put = std::get_if<PutMeta>(&request)) {
@@ -161,6 +175,44 @@ sim::Task<> Dimes::server_loop(Server& server) {
         board_.waiters.push_back(*wait);
       }
     }
+  }
+}
+
+sim::Task<> Dimes::crash_watcher(int index, double at) {
+  co_await engine_->sleep(std::max(0.0, at - engine_->now()));
+  Server& server = *servers_[static_cast<std::size_t>(index)];
+  if (server.crashed) co_return;
+  server.crashed = true;
+  if (fault::Injector* injector = fault::active()) {
+    injector->note_server_crash();
+  }
+  trace::Span span = trace::span(
+      "fault.server_crash",
+      trace::Track{server.endpoint.node->id(), server.endpoint.pid});
+  span.arg("server", static_cast<double>(index));
+  if (server.id == 0) {
+    // Parked version waiters would otherwise hang forever on the dead
+    // board; fail them with a typed error the workflow can report.
+    for (WaitVersion& waiter : board_.waiters) {
+      waiter.reply->push(make_error(ErrorCode::kConnectionFailed,
+                                    "metadata server 0 crashed"));
+    }
+    board_.waiters.clear();
+  }
+}
+
+void Dimes::refuse(const Server& server, Request& request) {
+  const Status crashed = make_error(
+      ErrorCode::kConnectionFailed,
+      "metadata server " + std::to_string(server.id) + " crashed");
+  if (auto* put = std::get_if<PutMeta>(&request)) {
+    put->reply->push(crashed);
+  } else if (auto* query = std::get_if<QueryMeta>(&request)) {
+    query->reply->push(crashed);
+  } else if (auto* publish = std::get_if<Publish>(&request)) {
+    publish->reply->push(crashed);
+  } else if (auto* wait = std::get_if<WaitVersion>(&request)) {
+    wait->reply->push(crashed);
   }
 }
 
@@ -245,16 +297,56 @@ sim::Task<Status> Dimes::Client::put(const nda::VarDesc& var,
   audit::acquire(audit::Resource::kStagedObject, memory_->name());
   buffer_used_ += bytes;
 
-  // Descriptor to the metadata server.
+  // Descriptor to the metadata server. The round trip retries transient
+  // transport timeouts under the shared policy; a crashed server's
+  // kConnectionFailed is not retryable and surfaces immediately.
   trace::Span span = trace::span(
       "dimes.put_meta", trace::Track{self_.node->id(), self_.pid});
   span.arg("bytes", static_cast<double>(bytes));
   Server& md = dimes_->server_for(var.name);
+  fault::RetryPolicy policy = dimes_->config_.meta_retry;
+  std::uint64_t key = 0;
+  if (fault::Injector* injector = fault::active()) {
+    key = injector->op_key(self_.pid, md.endpoint.pid);
+    if (policy.seed == 0) policy.seed = injector->plan().seed;
+  }
+  co_return co_await fault::retry(
+      *dimes_->engine_, policy, key, "dimes put_meta",
+      [this, &md, &var, &slab](int) {
+        return put_meta_once(md, var, slab.box());
+      },
+      [](ErrorCode code) { return code == ErrorCode::kTimeout; });
+}
+
+sim::Task<Status> Dimes::Client::put_meta_once(Server& md,
+                                               const nda::VarDesc& var,
+                                               const nda::Box& box) {
+  if (Status st = co_await dimes_->transport_->transfer(
+          self_, md.endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      !st.is_ok()) {
+    co_return st;
+  }
   sim::Queue<Status> reply(*dimes_->engine_);
-  co_await dimes_->transport_->transfer(self_, md.endpoint, kCtrlBytes,
-                                        {.src_pinned = true, .dst_pinned = true});
-  md.queue->push(PutMeta{var, slab.box(), self_.pid, &reply});
+  md.queue->push(PutMeta{var, box, self_.pid, &reply});
   co_return co_await reply.pop();
+}
+
+sim::Task<Status> Dimes::Client::query_meta_once(
+    Server& md, const nda::VarDesc& var, const nda::Box& box,
+    std::vector<ObjectDesc>* out) {
+  if (Status st = co_await dimes_->transport_->transfer(
+          self_, md.endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      !st.is_ok()) {
+    co_return st;
+  }
+  sim::Queue<Result<std::vector<ObjectDesc>>> reply(*dimes_->engine_);
+  md.queue->push(QueryMeta{var, box, &reply});
+  Result<std::vector<ObjectDesc>> hits = co_await reply.pop();
+  if (!hits.has_value()) co_return hits.status();
+  *out = std::move(*hits);
+  co_return Status::ok();
 }
 
 sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
@@ -262,22 +354,30 @@ sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
   if (!initialized_) {
     co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
   }
-  // Query the object directory.
+  // Query the object directory (retrying transient transport timeouts).
   const trace::Track track{self_.node->id(), self_.pid};
   trace::Span query_span = trace::span("dimes.get.query", track);
   Server& md = dimes_->server_for(var.name);
-  sim::Queue<Result<std::vector<ObjectDesc>>> reply(*dimes_->engine_);
-  co_await dimes_->transport_->transfer(self_, md.endpoint, kCtrlBytes,
-                                        {.src_pinned = true, .dst_pinned = true});
-  md.queue->push(QueryMeta{var, box, &reply});
-  auto descriptors = co_await reply.pop();
+  std::vector<ObjectDesc> descriptors;
+  fault::RetryPolicy policy = dimes_->config_.meta_retry;
+  std::uint64_t key = 0;
+  if (fault::Injector* injector = fault::active()) {
+    key = injector->op_key(self_.pid, md.endpoint.pid);
+    if (policy.seed == 0) policy.seed = injector->plan().seed;
+  }
+  Status meta = co_await fault::retry(
+      *dimes_->engine_, policy, key, "dimes metadata query",
+      [this, &md, &var, &box, &descriptors](int) {
+        return query_meta_once(md, var, box, &descriptors);
+      },
+      [](ErrorCode code) { return code == ErrorCode::kTimeout; });
   query_span.end();
-  if (!descriptors.has_value()) co_return descriptors.status();
+  if (!meta.is_ok()) co_return meta;
 
   // Pull each intersecting piece directly from its owner's memory.
   std::vector<nda::Slab> pieces;
   std::uint64_t covered = 0;
-  for (const auto& desc : *descriptors) {
+  for (const auto& desc : descriptors) {
     auto overlap = nda::intersect(desc.box, box);
     if (!overlap) continue;
     Client* owner = dimes_->clients_[desc.owner_pid];
@@ -332,11 +432,14 @@ sim::Task<Status> Dimes::Client::publish(const nda::VarDesc& var) {
                                            .dst_pinned = true});
     server->queue->push(Publish{var.name, var.version, &acks});
   }
+  // A crashed server's refusal must surface — its directory entries for
+  // this step will never be readable.
+  Status worst = Status::ok();
   for (std::size_t i = 0; i < dimes_->servers_.size(); ++i) {
-    // Pure completion signal, no payload. imc-lint: allow(discarded-await)
-    (void)co_await acks.pop();
+    Status ack = co_await acks.pop();
+    if (!ack.is_ok()) worst = std::move(ack);
   }
-  co_return Status::ok();
+  co_return worst;
 }
 
 sim::Task<Status> Dimes::Client::wait_version(const std::string& var,

@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "fault/fault.h"
 #include "hpc/cluster.h"
 #include "mem/memory.h"
 #include "ndarray/index.h"
@@ -45,9 +46,20 @@ struct Config {
   std::uint64_t server_base_bytes = 150 * kMiB;  // Fig. 6: ~154 MB flat
   std::uint64_t per_object_meta_bytes = 200;
   std::uint64_t materialize_cap_elems = 1ull << 22;
+  // Metadata round trips (put descriptor / directory query) retry transient
+  // transport timeouts under the shared policy; hard errors (kNotFound for
+  // lagging readers, a crashed server's kConnectionFailed) surface
+  // immediately.
+  fault::RetryPolicy meta_retry{.max_attempts = 3, .initial_backoff = 2e-3};
 };
 
 class Dimes {
+ private:
+  // Forward declarations so Client's method signatures can name them; the
+  // definitions live in the private section below.
+  struct Server;
+  struct ObjectDesc;
+
  public:
   struct ServerStats {
     std::uint64_t objects = 0;
@@ -105,6 +117,14 @@ class Dimes {
     };
 
     void evict_before(const std::string& var, int version);
+    // One metadata round trip each (driven by fault::retry): control
+    // message to the server, request, reply. The query variant delivers
+    // its hits through `out`.
+    sim::Task<Status> put_meta_once(Server& md, const nda::VarDesc& var,
+                                    const nda::Box& box);
+    sim::Task<Status> query_meta_once(Server& md, const nda::VarDesc& var,
+                                      const nda::Box& box,
+                                      std::vector<ObjectDesc>* out);
 
     Dimes* dimes_;
     net::Endpoint self_;
@@ -162,6 +182,9 @@ class Dimes {
     // string_view keys without building std::string temporaries)
     std::map<std::string, std::map<int, VersionDescs>, std::less<>> directory;
     ServerStats stats;
+    // Set by the fault layer's scheduled crash; a crashed metadata server
+    // refuses requests but still honors Shutdown for clean teardown.
+    bool crashed = false;
   };
   struct Board {
     std::map<std::string, int> published;
@@ -170,6 +193,10 @@ class Dimes {
 
   sim::Task<> server_loop(Server& server);
   Server& server_for(const std::string& var_name);
+  // Scheduled metadata-server crash from the bound fault plan.
+  sim::Task<> crash_watcher(int index, double at);
+  // Replies kConnectionFailed to whatever a crashed server popped.
+  static void refuse(const Server& server, Request& request);
 
   static constexpr std::uint64_t kCtrlBytes = 128;
   static constexpr double kServerServiceSeconds = 8e-6;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.h"
 #include "trace/trace.h"
 
 namespace imc::flexpath {
@@ -126,6 +127,19 @@ sim::Task<Status> Flexpath::Reader::open(const std::string& group) {
 
 sim::Task<Status> Flexpath::Reader::ensure_connected(Writer& writer) {
   if (formats_fetched_[writer.self_.pid]) co_return Status::ok();
+  fault::Injector* injector = fault::active();
+  if (injector == nullptr) {
+    // No fault plan bound: fail fast, as EVPath does when the peer is
+    // genuinely out of resources (keeps fault-free timing unchanged).
+    co_return co_await connect_once(writer);
+  }
+  co_return co_await fault::retry(
+      *fp_->engine_, injector->transport_policy(),
+      injector->op_key(self_.pid, writer.self_.pid), "flexpath reconnect",
+      [this, &writer](int) { return connect_once(writer); });
+}
+
+sim::Task<Status> Flexpath::Reader::connect_once(Writer& writer) {
   if (Status st = co_await fp_->transport_->connect(self_, writer.self_);
       !st.is_ok()) {
     co_return st;

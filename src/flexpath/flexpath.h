@@ -123,8 +123,11 @@ class Flexpath {
     void close();
 
    private:
-    // Lazy connection + FFS format handshake with one writer.
+    // Lazy connection + FFS format handshake with one writer. Transient
+    // connection failures are retried under the shared fault::RetryPolicy
+    // (EVPath's reconnect behavior); connect_once is one attempt.
     sim::Task<Status> ensure_connected(Writer& writer);
+    sim::Task<Status> connect_once(Writer& writer);
 
     Flexpath* fp_;
     net::Endpoint self_;

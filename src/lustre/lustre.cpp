@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "fault/fault.h"
 #include "trace/trace.h"
 
 namespace imc::lustre {
@@ -26,7 +27,13 @@ sim::Task<> FileSystem::metadata_op(const std::string& key) {
   double& busy = mds_busy_until_[mds];
   trace::Span span = trace::span("lustre.mds", trace::Track{});
   span.arg("wait", std::max(0.0, busy - engine_->now()));
-  const double done = std::max(engine_->now(), busy) + config_->mds_op_time;
+  // MDS slowdown window (fault plan): ops inside the window take longer,
+  // which backs up every rank hashing onto this MDS.
+  double op_time = config_->mds_op_time;
+  if (fault::Injector* injector = fault::active()) {
+    op_time *= injector->mds_factor(engine_->now());
+  }
+  const double done = std::max(engine_->now(), busy) + op_time;
   busy = done;
   co_await engine_->sleep(done - engine_->now());
 }

@@ -2,9 +2,20 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "fault/fault.h"
 #include "trace/trace.h"
 
 namespace imc::net {
+namespace {
+
+// Link degradation (fault plan window): bandwidth shrinks by the plan's
+// factor while the window is open; 1.0 otherwise or with no plan bound.
+double degrade_factor(double now) {
+  fault::Injector* injector = fault::active();
+  return injector != nullptr ? injector->link_factor(now) : 1.0;
+}
+
+}  // namespace
 
 int Fabric::hop_count(const hpc::Node& src, const hpc::Node& dst) const {
   if (&src == &dst) return 0;
@@ -47,7 +58,7 @@ double Fabric::reserve_transfer(hpc::Node& src, hpc::Node& dst,
            config_->shm_latency;
   }
 
-  const double bw = effective_bandwidth(bandwidth_cap);
+  const double bw = effective_bandwidth(bandwidth_cap) * degrade_factor(now);
   const double lat = latency(src, dst);
 
   const double egress_end = src.egress().reserve(now, bytes, bw);
@@ -69,8 +80,10 @@ sim::Task<> Fabric::transfer(hpc::Node& src, hpc::Node& dst,
     const double ideal =
         local ? static_cast<double>(bytes) / config_->shm_bandwidth +
                     config_->shm_latency
-              : latency(src, dst) + static_cast<double>(bytes) /
-                                        effective_bandwidth(bandwidth_cap);
+              : latency(src, dst) +
+                    static_cast<double>(bytes) /
+                        (effective_bandwidth(bandwidth_cap) *
+                         degrade_factor(now));
     span.arg("bytes", static_cast<double>(bytes));
     span.arg("hops", hop_count(src, dst));
     span.arg("contention_wait", std::max(0.0, (done_at - now) - ideal));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "trace/trace.h"
 
 namespace imc::net {
@@ -42,6 +43,62 @@ std::string pool_owner(std::pair<int, int> key) {
          std::to_string(key.second);
 }
 
+// --- Fault hooks (all no-ops when no fault plan is bound) -----------------
+
+// Stable operation identity for this transfer, or 0 when injection is off.
+std::uint64_t next_op_key(const Endpoint& from, const Endpoint& to) {
+  fault::Injector* injector = fault::active();
+  return injector != nullptr ? injector->op_key(from.pid, to.pid) : 0;
+}
+
+// A dead node refuses transfers with a typed kConnectionFailed — the
+// simulated analogue of a peer vanishing mid-run.
+Status check_nodes_alive(sim::Engine& engine, const Endpoint& from,
+                         const Endpoint& to) {
+  fault::Injector* injector = fault::active();
+  if (injector == nullptr) return Status::ok();
+  const double now = engine.now();
+  for (const Endpoint* e : {&from, &to}) {
+    if (injector->node_dead(e->node->id(), now)) {
+      injector->note_node_death();
+      injector->note_dropped();
+      return make_error(
+          ErrorCode::kConnectionFailed,
+          "node " + std::to_string(e->node->id()) + " is dead");
+    }
+  }
+  return Status::ok();
+}
+
+// Transient registration failure (RDMA flap): the injected flap/backoff
+// cycle is ridden out in the fault layer before the real registration is
+// attempted, so a *real* failure keeps its historical fail-fast semantics —
+// wait-and-retry for capacity pressure is the libraries' job
+// (DataSpaces::retry_put_prep), not the transport's.
+sim::Task<Status> register_with_flaps(sim::Engine& engine, hpc::Node& node,
+                                      std::uint64_t bytes,
+                                      std::uint64_t op_key) {
+  fault::Injector* injector = fault::active();
+  const double p = injector != nullptr ? injector->plan().rdma_flap : 0.0;
+  if (Status s = co_await fault::ride_out(
+          engine, p, op_key, fault::Kind::kRdmaFlap,
+          "transient RDMA registration failure");
+      !s.is_ok()) {
+    co_return s;
+  }
+  co_return node.rdma().register_memory(bytes, kTransient);
+}
+
+// Packet loss: each lost attempt costs a retransmit backoff before the
+// payload finally moves; loss on every attempt abandons the op as kTimeout.
+sim::Task<Status> retransmit_losses(sim::Engine& engine,
+                                    std::uint64_t op_key) {
+  fault::Injector* injector = fault::active();
+  const double p = injector != nullptr ? injector->plan().packet_loss : 0.0;
+  co_return co_await fault::ride_out(engine, p, op_key,
+                                     fault::Kind::kPacketLoss, "packet loss");
+}
+
 }  // namespace
 
 std::string_view to_string(TransportKind kind) {
@@ -80,13 +137,18 @@ sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
                                           std::uint64_t bytes,
                                           TransferOptions opts) {
   ++transfer_count_;
+  if (Status s = check_nodes_alive(*engine_, from, to); !s.is_ok()) {
+    co_return s;
+  }
+  const std::uint64_t op = next_op_key(from, to);
 
   // Synchronous uGNI-style registration: fails immediately when the node's
   // registered-memory capacity or handler count is exhausted (§III-B1).
   const std::uint64_t reg_bytes = std::min(bytes, kRdmaFragmentBytes);
   bool src_registered = false;
   if (!opts.src_pinned) {
-    if (Status s = from.node->rdma().register_memory(reg_bytes, kTransient);
+    if (Status s = co_await register_with_flaps(*engine_, *from.node,
+                                                reg_bytes, op);
         !s.is_ok()) {
       co_return s;
     }
@@ -95,13 +157,20 @@ sim::Task<Status> RdmaTransport::transfer(const Endpoint& from,
     trace::count("rdma.transient_reg_bytes", static_cast<double>(reg_bytes));
   }
   if (!opts.dst_pinned) {
-    if (Status s = to.node->rdma().register_memory(reg_bytes, kTransient);
+    if (Status s =
+            co_await register_with_flaps(*engine_, *to.node, reg_bytes, op);
         !s.is_ok()) {
       if (src_registered) from.node->rdma().deregister(reg_bytes, kTransient);
       co_return s;
     }
     trace::count("rdma.transient_registrations");
     trace::count("rdma.transient_reg_bytes", static_cast<double>(reg_bytes));
+  }
+
+  if (Status s = co_await retransmit_losses(*engine_, op); !s.is_ok()) {
+    if (src_registered) from.node->rdma().deregister(reg_bytes, kTransient);
+    if (!opts.dst_pinned) to.node->rdma().deregister(reg_bytes, kTransient);
+    co_return s;
   }
 
   if (kind_ == TransportKind::kRdmaNnti) {
@@ -182,6 +251,10 @@ sim::Task<Status> SocketTransport::transfer(const Endpoint& from,
                                             TransferOptions opts) {
   (void)opts;  // sockets copy regardless of pinning
   ++transfer_count_;
+  if (Status s = check_nodes_alive(*engine_, from, to); !s.is_ok()) {
+    co_return s;
+  }
+  const std::uint64_t op = next_op_key(from, to);
   if (pool_.enabled) {
     auto it = pools_.find(node_key(from, to));
     if (it == pools_.end()) {
@@ -193,7 +266,34 @@ sim::Task<Status> SocketTransport::transfer(const Endpoint& from,
     // Multiplexing: wait for a free stream in the shared pool.
     {
       TRACE_SPAN("socket.pool_wait", from.node->id(), 0);
-      co_await it->second.slots->acquire();
+      if (pool_.wait_timeout >= 0) {
+        // Bounded wait: poll on a fixed virtual-time slice (the semaphore
+        // has no cancellable acquire). Slices are deterministic, so the
+        // timeout decision is too.
+        const double deadline = engine_->now() + pool_.wait_timeout;
+        const double slice = std::max(pool_.wait_timeout / 64.0, 1e-5);
+        while (!it->second.slots->try_acquire()) {
+          if (engine_->now() >= deadline) {
+            if (fault::Injector* injector = fault::active()) {
+              injector->note_timeout();
+              injector->note_dropped();
+            }
+            co_return make_error(
+                ErrorCode::kTimeout,
+                "socket pool wait exceeded " +
+                    std::to_string(pool_.wait_timeout) +
+                    "s between nodes " + std::to_string(from.node->id()) +
+                    " and " + std::to_string(to.node->id()));
+          }
+          co_await engine_->sleep(slice);
+        }
+      } else {
+        co_await it->second.slots->acquire();
+      }
+    }
+    if (Status s = co_await retransmit_losses(*engine_, op); !s.is_ok()) {
+      it->second.slots->release();
+      co_return s;
     }
     co_await engine_->sleep(kSocketPerTransferOverhead);
     co_await fabric_->transfer(*from.node, *to.node, bytes,
@@ -206,6 +306,9 @@ sim::Task<Status> SocketTransport::transfer(const Endpoint& from,
                          "no socket connection between pid " +
                              std::to_string(from.pid) + " and pid " +
                              std::to_string(to.pid));
+  }
+  if (Status s = co_await retransmit_losses(*engine_, op); !s.is_ok()) {
+    co_return s;
   }
   // The stream rate is capped by the memory-copy cost across the network
   // stack (§III-B5, [38]-[41]).

@@ -7,6 +7,7 @@
 
 #include "common/audit.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "trace/trace.h"
 
 #include "adios/adios.h"
@@ -362,10 +363,13 @@ sim::Task<> sim_rank(Ctx& ctx, int r) {
   const trace::Track track{self.node->id(), self.pid};
   for (int step = 0; step < spec.steps; ++step) {
     // Compute phase: the real micro-kernel plus the calibrated cost.
+    // Straggler ranks (fault plan) compute slower by the planned factor.
     app.advance(ctx.run_kernel);
-    const double dt =
-        spec.compute_scale *
-        spec.machine.relative_compute_time(app.titan_step_seconds());
+    double dt = spec.compute_scale *
+                spec.machine.relative_compute_time(app.titan_step_seconds());
+    if (fault::Injector* injector = fault::active()) {
+      dt *= injector->straggler_factor(r);
+    }
     {
       TRACE_SPAN("sim.compute", track.node, track.tid);
       co_await ctx.engine.sleep(dt);
@@ -643,9 +647,11 @@ sim::Task<> decaf_producer(Ctx& ctx, int r) {
   const trace::Track track{self.node->id(), self.pid};
   for (int step = 0; step < spec.steps; ++step) {
     app.advance(ctx.run_kernel);
-    const double dt =
-        spec.compute_scale *
-        spec.machine.relative_compute_time(app.titan_step_seconds());
+    double dt = spec.compute_scale *
+                spec.machine.relative_compute_time(app.titan_step_seconds());
+    if (fault::Injector* injector = fault::active()) {
+      dt *= injector->straggler_factor(r);
+    }
     {
       TRACE_SPAN("sim.compute", track.node, track.tid);
       co_await ctx.engine.sleep(dt);
@@ -749,6 +755,14 @@ RunResult run(const Spec& spec) {
   audit::ScopedAuditor audit_scope(auditor);
   RunResult result;
   Ctx ctx(spec);
+  // Fault injection binds per world like the auditor and tracer: only when
+  // the spec carries a plan, so fault-free runs never see an Injector.
+  std::unique_ptr<fault::Injector> injector;
+  std::optional<fault::ScopedFaultPlan> fault_scope;
+  if (spec.fault.any()) {
+    injector = std::make_unique<fault::Injector>(spec.fault);
+    fault_scope.emplace(*injector);
+  }
   // Tracing rides the same per-world binding scheme: when a sink is
   // installed (IMC_TRACE=<path> or a test sink) each run records into its
   // own Recorder, stamped exclusively with ctx.engine's simulated clock.
@@ -820,7 +834,8 @@ RunResult run(const Spec& spec) {
           ctx.engine, ctx.fabric, kind, ctx.drc.get());
       break;
     case net::TransportKind::kSockets: {
-      net::SocketTransport::PoolConfig pool{spec.socket_pooling, 2};
+      net::SocketTransport::PoolConfig pool{spec.socket_pooling, 2,
+                                            spec.socket_pool_timeout};
       ctx.transport = std::make_unique<net::SocketTransport>(
           ctx.engine, ctx.fabric, pool);
       break;
@@ -1114,6 +1129,46 @@ RunResult run(const Spec& spec) {
   result.bytes_moved = ctx.fabric.bytes_transferred();
   if (spec.record_schedule_trace) result.schedule_trace = ctx.engine.trace();
   result.leaks = auditor.leaks();
+
+  if (injector) {
+    const fault::Stats& fs = injector->stats();
+    result.fault.injected = fs.injected;
+    result.fault.retries = fs.retries;
+    result.fault.timeouts = fs.timeouts;
+    result.fault.dropped_ops = fs.dropped_ops;
+    result.fault.server_crashes = fs.server_crashes;
+    result.fault.node_deaths = fs.node_deaths;
+  }
+
+  // Graceful degradation (Spec::fallback): the staging method reported an
+  // unrecoverable failure mid-run, so replay the whole workflow through the
+  // MPI-IO file path — every step, so the analysis output matches what a
+  // fault-free run computes. The primary's typed failures are preserved in
+  // recovered_failures; end_to_end covers both attempts.
+  if (!result.ok && injector && spec.fallback.to_mpi_io &&
+      spec.method != MethodSel::kMpiIo) {
+    result.fault.fallback_activated = true;
+    result.fault.time_to_recover = ctx.engine.now();
+    trace::count("fault.fallback");
+    fault_scope.reset();  // the replay runs fault-free
+    Spec fb = spec;
+    fb.method = MethodSel::kMpiIo;
+    fb.fault = fault::Plan{};
+    fb.fallback.to_mpi_io = false;
+    RunResult replay = run(fb);
+    result.recovered_failures = std::move(result.failures);
+    result.failures = replay.failures;
+    result.ok = replay.ok;
+    result.end_to_end += replay.end_to_end;
+    result.sample_analysis_value = replay.sample_analysis_value;
+    result.run_digest = splitmix64(result.run_digest ^ replay.run_digest);
+    for (const auto& leak : replay.leaks) result.leaks.push_back(leak);
+    finish_trace();
+    result.trace_digest =
+        splitmix64(result.trace_digest ^ replay.trace_digest);
+    return result;
+  }
+
   finish_trace();
   return result;
 }

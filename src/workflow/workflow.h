@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "fault/fault.h"
 #include "hpc/machine.h"
 #include "mem/memory.h"
 #include "net/transport.h"
@@ -92,6 +93,22 @@ struct Spec {
   // Record memory timelines of representative processes (Fig. 5).
   bool capture_timelines = false;
 
+  // Fault plan for this world (off when fault.any() is false — then no
+  // Injector is bound and every fault hook is a no-op). Bound through a
+  // thread-local ScopedFaultPlan exactly like audit/trace, so concurrent
+  // sweep workers stay isolated.
+  fault::Plan fault;
+  // Graceful degradation: when the primary method fails with a fault plan
+  // active (unrecoverable server loss and the like), replay the whole
+  // workflow through the MPI-IO file path so the analysis still completes.
+  struct FallbackSpec {
+    bool to_mpi_io = false;
+  };
+  FallbackSpec fallback;
+  // Socket-pool slot wait budget (virtual seconds); < 0 waits forever (the
+  // historical behavior), >= 0 surfaces kTimeout when exceeded.
+  double socket_pool_timeout = -1.0;
+
   // Same-instant event ordering. Correct components must produce the same
   // results under every policy; check::run_deterministic() sweeps these.
   sim::Schedule schedule;
@@ -143,6 +160,23 @@ struct RunResult {
   std::vector<std::string> leaks;     // auditor report after full teardown
   std::vector<sim::Engine::TraceEntry> schedule_trace;  // when requested
   std::uint64_t trace_digest = 0;     // imc::trace chunk digest (0 when off)
+
+  // Recovery bookkeeping (zero when Spec::fault is off). On MPI-IO
+  // fallback, `failures` holds the replay's verdict while the primary
+  // method's typed failures move to `recovered_failures`, and end_to_end
+  // covers both attempts.
+  struct FaultStats {
+    std::uint64_t injected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t dropped_ops = 0;
+    std::uint64_t server_crashes = 0;
+    std::uint64_t node_deaths = 0;
+    bool fallback_activated = false;
+    double time_to_recover = 0;  // virtual time spent before the fallback
+  };
+  FaultStats fault;
+  std::vector<std::string> recovered_failures;
 
   // One-line verdict for tables.
   std::string failure_summary() const;

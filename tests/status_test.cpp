@@ -1,0 +1,101 @@
+// common/status + common/env satellites: ErrorCode <-> string round trips,
+// Status formatting, Result plumbing, and the parse_double knob parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace imc {
+namespace {
+
+TEST(ErrorCodeStrings, EveryCodeRoundTrips) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    const auto code = static_cast<ErrorCode>(i);
+    const std::string_view name = to_string(code);
+    EXPECT_NE(name, "UNKNOWN") << i;
+    EXPECT_EQ(error_code_from_string(name), code) << name;
+  }
+}
+
+TEST(ErrorCodeStrings, NamesAreUniqueAndStable) {
+  std::vector<std::string_view> names;
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    names.push_back(to_string(static_cast<ErrorCode>(i)));
+  }
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    for (std::size_t b = a + 1; b < names.size(); ++b) {
+      EXPECT_NE(names[a], names[b]);
+    }
+  }
+  // Spot-pin the strings Table IV prints and the fault layer wraps.
+  EXPECT_EQ(to_string(ErrorCode::kOk), "OK");
+  EXPECT_EQ(to_string(ErrorCode::kOutOfRdmaMemory), "OUT_OF_RDMA_MEMORY");
+  EXPECT_EQ(to_string(ErrorCode::kTimeout), "TIMEOUT");
+  EXPECT_EQ(to_string(ErrorCode::kConnectionFailed), "CONNECTION_FAILED");
+}
+
+TEST(ErrorCodeStrings, UnknownNameMapsToInternal) {
+  EXPECT_EQ(error_code_from_string("NOT_A_CODE"), ErrorCode::kInternal);
+  EXPECT_EQ(error_code_from_string(""), ErrorCode::kInternal);
+  // Case-sensitive: the wire format is the exact to_string spelling.
+  EXPECT_EQ(error_code_from_string("timeout"), ErrorCode::kInternal);
+}
+
+TEST(StatusFormatting, ToStringCarriesCodeAndMessage) {
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+  const Status st = make_error(ErrorCode::kTimeout, "op gave up");
+  EXPECT_EQ(st.to_string(), "TIMEOUT: op gave up");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kTimeout);
+  // Equality compares codes (message is context, not identity).
+  EXPECT_EQ(st, make_error(ErrorCode::kTimeout, "different text"));
+}
+
+TEST(StatusResult, ValueAndErrorPaths) {
+  Result<int> good = 41;
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good + 1, 42);
+  Result<int> bad = make_error(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(EnvParseDouble, AcceptsDecimalsWithinRange) {
+  auto r = env::parse_double("IMC_FAULT_BACKOFF", "0.0025", 1.0, 0.0, 10.0);
+  ASSERT_TRUE(r.has_value()) << r.status();
+  EXPECT_DOUBLE_EQ(*r, 0.0025);
+  auto sci = env::parse_double("IMC_FAULT_BACKOFF", "5e-4", 1.0, 0.0, 10.0);
+  ASSERT_TRUE(sci.has_value());
+  EXPECT_DOUBLE_EQ(*sci, 5e-4);
+}
+
+TEST(EnvParseDouble, UnsetOrEmptyFallsBack) {
+  auto unset = env::parse_double("IMC_FAULT_BACKOFF", nullptr, 0.5, 0.0, 1.0);
+  ASSERT_TRUE(unset.has_value());
+  EXPECT_DOUBLE_EQ(*unset, 0.5);
+  auto empty = env::parse_double("IMC_FAULT_BACKOFF", "", 0.5, 0.0, 1.0);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_DOUBLE_EQ(*empty, 0.5);
+}
+
+TEST(EnvParseDouble, RejectsGarbageNonFiniteAndOutOfRange) {
+  for (const char* bad : {"abc", "1.5x", "nan", "inf", "-inf", "1e999"}) {
+    auto r = env::parse_double("IMC_FAULT_BACKOFF", bad, 1.0, 0.0, 10.0);
+    EXPECT_FALSE(r.has_value()) << bad;
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument) << bad;
+    // The message must name the knob so the exit-2 diagnostic is actionable.
+    EXPECT_NE(r.status().message().find("IMC_FAULT_BACKOFF"),
+              std::string::npos)
+        << bad;
+  }
+  auto low = env::parse_double("IMC_FAULT_BACKOFF", "-0.1", 1.0, 0.0, 10.0);
+  EXPECT_FALSE(low.has_value());
+  auto high = env::parse_double("IMC_FAULT_BACKOFF", "11", 1.0, 0.0, 10.0);
+  EXPECT_FALSE(high.has_value());
+}
+
+}  // namespace
+}  // namespace imc
