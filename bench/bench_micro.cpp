@@ -3,6 +3,7 @@
 // itself and as a regression guard for the paper-scale sweeps.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/hilbert.h"
 #include "dataspaces/dataspaces.h"
 #include "hpc/cluster.h"
@@ -306,19 +307,19 @@ void BM_DataspacesPutGet(benchmark::State& state) {
     config.client_base_bytes = 0;
     config.server_base_bytes = 0;
     dataspaces::DataSpaces ds(engine, cluster, ugni, config);
-    (void)ds.deploy(cluster.allocate_nodes(1));
+    bench::must_ok(ds.deploy(cluster.allocate_nodes(1)), "deploy");
     mem::ProcessMemory memory(engine, "w");
     dataspaces::DataSpaces::Client client(
         ds, net::Endpoint{1, 0, &cluster.node(cluster.allocate_nodes(1)[0])},
         memory);
     engine.spawn([](dataspaces::DataSpaces::Client& c) -> sim::Task<> {
-      (void)co_await c.init();
+      bench::must_ok(co_await c.init(), "client init");
       const nda::Dims dims = {64, 128};
       for (int v = 0; v < 8; ++v) {
         nda::VarDesc var{"x", dims, v};
         nda::Slab slab = nda::Slab::synthetic(nda::Box::whole(dims), 1);
-        (void)co_await c.put(var, slab);
-        (void)co_await c.publish(var);
+        bench::must_ok(co_await c.put(var, slab), "put");
+        bench::must_ok(co_await c.publish(var), "publish");
         benchmark::DoNotOptimize(co_await c.get(var, nda::Box::whole(dims)));
       }
     }(client));

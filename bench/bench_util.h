@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/env.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "sweep/sweep.h"
 #include "workflow/workflow.h"
@@ -26,6 +28,16 @@ namespace imc::bench {
 
 inline bool full_scale() {
   return env::flag_or_die("IMC_FULL_SCALE", false);
+}
+
+// Aborts the bench when a setup or staging step fails: timing a loop whose
+// puts silently failed would report throughput for work that never
+// happened. Benches are entry points, so dying here is legitimate.
+inline void must_ok(const Status& status, const char* what) {
+  if (status.is_ok()) return;
+  std::fprintf(stderr, "bench: %s failed: %s\n", what,
+               status.to_string().c_str());
+  std::abort();
 }
 
 // Runs every spec through workflow::run on the sweep pool and returns the
@@ -61,7 +73,9 @@ inline const char* header_rule() {
 
 inline void print_banner(const char* artifact, const char* description) {
   // Validate the env knobs up front: a garbage IMC_THREADS must fail the
-  // bench at startup even if it never fans a sweep out.
+  // bench at startup even if it never fans a sweep out. The value itself
+  // is irrelevant here — the call dies on bad input, so discarding it
+  // loses nothing. imc-analyze: allow(discarded-result)
   (void)sweep::default_threads();
   std::printf("%s\n", header_rule());
   std::printf("%s — %s\n", artifact, description);

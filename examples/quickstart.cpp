@@ -54,7 +54,10 @@ int main() {
       std::fprintf(stderr, "put failed: %s\n", st.to_string().c_str());
       co_return;
     }
-    (void)co_await w.publish(var);
+    if (Status st = co_await w.publish(var); !st.is_ok()) {
+      std::fprintf(stderr, "publish failed: %s\n", st.to_string().c_str());
+      co_return;
+    }
     std::printf("[%.3f ms] writer: staged %s (%s)\n", e.now() * 1e3,
                 var.name.c_str(), format_bytes(
                     static_cast<double>(field.declared_bytes())).c_str());
@@ -63,7 +66,12 @@ int main() {
   engine.spawn([](dataspaces::DataSpaces::Client& r, nda::VarDesc var,
                   nda::Slab original, sim::Engine& e) -> sim::Task<> {
     if (Status st = co_await r.init(); !st.is_ok()) co_return;
-    (void)co_await r.wait_version(var.name, var.version);
+    if (Status st = co_await r.wait_version(var.name, var.version);
+        !st.is_ok()) {
+      std::fprintf(stderr, "wait_version failed: %s\n",
+                   st.to_string().c_str());
+      co_return;
+    }
     // Read the middle rows — a selection the writer never staged as-is.
     nda::Box selection({64, 0}, {192, 256});
     auto got = co_await r.get(var, selection);

@@ -1,0 +1,9 @@
+"""imc-analyze — determinism & coroutine-safety static analysis.
+
+Machine-enforces the invariants the benchmark suite's contracts depend on
+(byte-identical stdout at any IMC_THREADS, schedule-invariant digests,
+leak-free teardown). See DESIGN.md §12 for the invariant catalogue and
+tests/analyze/ for the fixture corpus that pins each rule's behaviour.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,9 @@
+"""`python3 -m analyze` entry point (run from scripts/, or with scripts/
+on PYTHONPATH). The `scripts/imc-analyze` launcher is the usual door."""
+
+import sys
+
+from analyze.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

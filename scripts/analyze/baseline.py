@@ -1,0 +1,54 @@
+"""Baseline file support for imc-analyze.
+
+A baseline records known findings so a newly strengthened rule can land
+without blocking CI while the tree is cleaned up. Entries are fingerprints
+of (rule, repo-relative path, normalized source line text) — deliberately
+line-number free, so edits elsewhere in a file never stale the baseline,
+and deliberately text-anchored, so fixing the offending line retires the
+entry (a stale baseline shrinks; it can never hide a new violation
+elsewhere).
+"""
+
+import hashlib
+import json
+import os
+
+
+def fingerprint(finding, repo_root, raw_line):
+    rel = os.path.relpath(os.path.abspath(finding.path), repo_root)
+    normalized = " ".join(raw_line.split())
+    payload = f"{finding.rule}\x1f{rel}\x1f{normalized}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def load(path):
+    """Returns {fingerprint: entry-dict}. A missing file is an empty
+    baseline; malformed JSON is a hard error (a truncated baseline must not
+    silently un-suppress the world)."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not an imc-analyze baseline "
+                         "(expected an object with a 'findings' list)")
+    return {entry["fingerprint"]: entry for entry in data["findings"]}
+
+
+def save(path, findings_with_prints):
+    """Writes a baseline covering the given [(finding, fingerprint)]."""
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,  # informational; not part of the fingerprint
+            "message": f.message,
+        }
+        for f, fp in sorted(findings_with_prints,
+                            key=lambda p: (p[0].path, p[0].line, p[0].rule))
+    ]
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"version": 1, "tool": "imc-analyze",
+                   "findings": entries}, f, indent=2)
+        f.write("\n")

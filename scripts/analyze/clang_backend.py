@@ -1,0 +1,64 @@
+"""Optional libclang cross-check backend.
+
+When python bindings for libclang are installed (`pip install libclang`,
+not part of the CI image), `--backend libclang` re-verifies the
+token-level unordered-iteration findings against a real AST: a finding is
+kept only if the loop's range expression's type actually names an
+unordered container. Without libclang the tokenizer backend stands alone —
+the import is attempted lazily and failure degrades to a no-op with a
+notice, so the tool never gains a hard dependency.
+"""
+
+
+def available():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def refine_unordered(findings, compile_args=None):
+    """Drops unordered-iteration findings whose range type is not actually
+    an unordered container, per libclang. Non-unordered-iteration findings
+    pass through untouched. Returns (findings, verified_count)."""
+    if not available():
+        return findings, 0
+
+    import clang.cindex as ci
+
+    kept, verified = [], 0
+    by_file = {}
+    for f in findings:
+        if f.rule == "unordered-iteration":
+            by_file.setdefault(f.path, []).append(f)
+        else:
+            kept.append(f)
+    if not by_file:
+        return findings, 0
+
+    index = ci.Index.create()
+    args = list(compile_args or ["-std=c++20", "-Isrc"])
+    for path, file_findings in by_file.items():
+        try:
+            tu = index.parse(path, args=args)
+        except ci.TranslationUnitLoadError:
+            kept.extend(file_findings)  # cannot parse: keep, do not hide
+            continue
+        loop_lines = set()
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind != ci.CursorKind.CXX_FOR_RANGE_STMT:
+                continue
+            children = list(cursor.get_children())
+            if not children:
+                continue
+            range_type = children[-2].type.get_canonical().spelling \
+                if len(children) >= 2 else ""
+            if "unordered_" in range_type:
+                loop_lines.add(cursor.location.line)
+        for f in file_findings:
+            if f.line in loop_lines:
+                verified += 1
+                kept.append(f)
+            # else: token backend misidentified the range type; drop.
+    return kept, verified

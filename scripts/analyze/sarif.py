@@ -1,0 +1,56 @@
+"""SARIF 2.1.0 export so CI can annotate findings on the diff."""
+
+import json
+import os
+
+from analyze import __version__
+from analyze.rules import RULES
+
+
+def write(path, findings, repo_root):
+    rules_meta = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, (_, _, desc) in sorted(RULES.items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f"{f.message} — {f.hint}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": os.path.relpath(os.path.abspath(f.path),
+                                               repo_root).replace(os.sep,
+                                                                  "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": f.line},
+                },
+            }],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "imc-analyze",
+                    "version": __version__,
+                    "rules": rules_meta,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")

@@ -1,0 +1,254 @@
+"""C++ tokenizer for imc-analyze.
+
+Not a full lexer — a token stream good enough to reason about the
+constructs the rules care about, which regexes over raw lines are not:
+
+  * comments, string/char literals, and raw strings (R"delim(...)delim")
+    are consumed so their contents can never produce findings;
+  * identifiers are single tokens, so `runtime(` never matches a ban on
+    `time(` and `my_rand(` never matches `rand(`;
+  * preprocessor lines (including backslash continuations) are tagged so
+    rules can skip macro definitions and includes;
+  * every token carries (line, col) and the stream records brace depth,
+    which gives the rules scope extents for free.
+
+The tokenizer is deliberately standalone (no external deps) so it runs on
+the bare python3 in the CI image.
+"""
+
+import re
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"          # identifiers and keywords
+NUM = "num"        # numeric literals
+STR = "str"        # string literal (text is the quoted form, contents kept)
+CHAR = "char"      # character literal
+PUNCT = "punct"    # operators and punctuation
+
+# Multi-character operators that matter for the rules (longest first).
+_PUNCTS = [
+    "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",
+]
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_CONT = re.compile(r"[A-Za-z0-9_]")
+_RAW_STR = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(')
+_STR_PREFIX = re.compile(r'(?:u8|[uUL])?"')
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int          # 1-based
+    col: int           # 0-based
+    preproc: bool      # True if the token sits on a preprocessor line
+    depth: int = 0     # brace depth *before* this token is consumed
+
+    def __repr__(self):
+        return f"{self.text!r}@{self.line}"
+
+
+class TokenStream:
+    """Tokens plus the structural helpers rules lean on."""
+
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.text = text
+        self._brace_match = self._match_pairs("{", "}")
+        self._paren_match = self._match_pairs("(", ")")
+
+    def _match_pairs(self, open_ch, close_ch):
+        match, stack = {}, []
+        for i, tok in enumerate(self.tokens):
+            if tok.kind != PUNCT or tok.preproc:
+                continue
+            if tok.text == open_ch:
+                stack.append(i)
+            elif tok.text == close_ch and stack:
+                match[stack.pop()] = i
+        return match
+
+    def match_brace(self, i):
+        """Index of the `}` matching the `{` at index i, or None."""
+        return self._brace_match.get(i)
+
+    def match_paren(self, i):
+        """Index of the `)` matching the `(` at index i, or None."""
+        return self._paren_match.get(i)
+
+    def prev_code(self, i):
+        """Index of the previous non-preproc token before i, or None."""
+        j = i - 1
+        while j >= 0:
+            if not self.tokens[j].preproc:
+                return j
+            j -= 1
+        return None
+
+    def next_code(self, i):
+        """Index of the next non-preproc token after i, or None."""
+        j = i + 1
+        while j < len(self.tokens):
+            if not self.tokens[j].preproc:
+                return j
+            j += 1
+        return None
+
+    def enclosing_scope(self, i):
+        """(open, close) indices of the innermost braces around token i.
+
+        Returns (None, None) at file scope.
+        """
+        best = (None, None)
+        for open_i, close_i in self._brace_match.items():
+            if open_i < i < close_i:
+                if best[0] is None or open_i > best[0]:
+                    best = (open_i, close_i)
+        return best
+
+    def scope_end(self, i):
+        """Index one past the innermost scope containing token i (the
+        matching `}`), or len(tokens) at file scope."""
+        _, close_i = self.enclosing_scope(i)
+        return close_i if close_i is not None else len(self.tokens)
+
+
+def tokenize(text):
+    """Tokenize C++ source into a TokenStream."""
+    tokens = []
+    i, n = 0, len(text)
+    line, line_start = 1, 0
+    depth = 0
+    in_preproc = False
+
+    def col(pos):
+        return pos - line_start
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            # A preprocessor line ends here unless continued with `\`.
+            if in_preproc and (i == 0 or text[i - 1] != "\\"):
+                in_preproc = False
+            line += 1
+            i += 1
+            line_start = i
+            continue
+
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                i += 1
+            i = min(i + 2, n)
+            continue
+
+        # Preprocessor line start.
+        if c == "#" and not in_preproc:
+            stripped_prefix = text[line_start:i].strip()
+            if stripped_prefix == "":
+                in_preproc = True
+            tokens.append(Token(PUNCT, "#", line, col(i), in_preproc, depth))
+            i += 1
+            continue
+
+        # Raw strings.
+        m = _RAW_STR.match(text, i)
+        if m:
+            delim = m.group(1)
+            end = text.find(")" + delim + '"', m.end())
+            end = n if end == -1 else end + len(delim) + 2
+            tokens.append(Token(STR, text[i:end], line, col(i), in_preproc,
+                                depth))
+            line += text.count("\n", i, end)
+            nl = text.rfind("\n", i, end)
+            if nl != -1:
+                line_start = nl + 1
+            i = end
+            continue
+
+        # Ordinary strings (with prefix) and chars.
+        m = _STR_PREFIX.match(text, i)
+        if m or c == '"':
+            start = i
+            i = m.end() if m else i + 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                if i < n and text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                i += 1
+            i = min(i + 1, n)
+            tokens.append(Token(STR, text[start:i], line, col(start),
+                                in_preproc, depth))
+            continue
+        if c == "'":
+            start = i
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i = min(i + 1, n)
+            tokens.append(Token(CHAR, text[start:i], line, col(start),
+                                in_preproc, depth))
+            continue
+
+        # Identifiers / keywords.
+        if _ID_START.match(c):
+            start = i
+            while i < n and _ID_CONT.match(text[i]):
+                i += 1
+            tokens.append(Token(ID, text[start:i], line, col(start),
+                                in_preproc, depth))
+            continue
+
+        # Numbers (digits plus the usual suffix soup; ' separators too).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "._'"
+                             or (text[i] in "+-" and text[i - 1] in "eEpP")):
+                i += 1
+            tokens.append(Token(NUM, text[start:i], line, col(start),
+                                in_preproc, depth))
+            continue
+
+        # Punctuation.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line, col(i), in_preproc,
+                                    depth))
+                i += len(p)
+                break
+        else:
+            if c == "{" and not in_preproc:
+                tokens.append(Token(PUNCT, c, line, col(i), in_preproc,
+                                    depth))
+                depth += 1
+            elif c == "}" and not in_preproc:
+                depth = max(0, depth - 1)
+                tokens.append(Token(PUNCT, c, line, col(i), in_preproc,
+                                    depth))
+            else:
+                tokens.append(Token(PUNCT, c, line, col(i), in_preproc,
+                                    depth))
+            i += 1
+
+    return TokenStream(tokens, text)

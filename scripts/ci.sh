@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: hardened Debug build (ASan+UBSan, -Werror), full test
-# suite (includes the determinism harness, leak auditors, and lint.py as
-# ctest entries), plus clang-tidy over changed files when available.
+# suite (includes the determinism harness, leak auditors, style lint, and
+# the imc-analyze semantic gate as ctest entries), plus clang-tidy over
+# changed files when available.
 #
 # Usage: scripts/ci.sh [build-dir]     (default: build-ci)
 set -euo pipefail
@@ -23,8 +24,18 @@ cmake --build "$build" -j "$(nproc)"
 echo "==> test (unit + determinism harness + leak audits + lint)"
 ctest --test-dir "$build" -j "$(nproc)" --output-on-failure
 
-echo "==> lint (standalone, full tree)"
-python3 "$repo/scripts/lint.py" "$repo/src"
+echo "==> style lint (standalone, full tree)"
+python3 "$repo/scripts/lint.py" "$repo/src" "$repo/bench" "$repo/tests" \
+  "$repo/examples"
+
+# Semantic gate: imc-analyze enforces the determinism & coroutine-safety
+# invariants (see DESIGN.md §12) against the committed baseline, and emits
+# a SARIF report for code-scanning upload.
+echo "==> imc-analyze (baseline gate + SARIF export)"
+python3 "$repo/scripts/imc-analyze" \
+  --baseline "$repo/analyze-baseline.json" \
+  --sarif "$build/imc-analyze.sarif" \
+  "$repo/src" "$repo/bench" "$repo/tests" "$repo/examples"
 
 # clang-tidy on files changed relative to the default branch; advisory if the
 # toolchain only ships gcc.

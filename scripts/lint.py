@@ -1,242 +1,44 @@
 #!/usr/bin/env python3
-"""Source lint for the simulation substrate.
+"""Style-only lint for C++ sources.
 
-Flags constructions that break determinism or silently drop errors:
+Semantic rules (determinism hazards, dropped Status, coroutine lifetime)
+live in scripts/analyze (imc-analyze), which parses tokens instead of
+lines and owns suppressions and the baseline. This file keeps only the
+mechanical whitespace checks that need no parsing:
 
-  wall-clock        real-time clocks in simulation code (std::chrono clocks,
-                    gettimeofday) — virtual time must come from sim::Engine
-  global-rng        std::random_device / std::mt19937 / rand / srand — all
-                    randomness must flow through the seeded common/rng.h
-  discarded-await   `(void)co_await ...` — throwing away an awaited
-                    Status/Result hides failures
-  discarded-status  `(void)call(...)` — same, for synchronous calls
-  ref-capture-await lambda capturing by reference whose body contains
-                    co_await — the frame may outlive the captured locals
-  trace-real-time   (path-scoped) any std::chrono / time( / clock_gettime
-                    in the trace layer or an instrumented subsystem — trace
-                    timestamps must be simulated time from sim::Engine
-  adhoc-retry       a for/while loop whose header mentions `attempt` and
-                    whose body sleeps — ad-hoc retry loops fork the backoff
-                    and jitter policy; outside src/fault/ all retrying must
-                    go through fault::retry / fault::ride_out so attempts,
-                    timeouts, and dropped ops land in one accounted place
+  tab-indent             tab characters anywhere in a source line
+  trailing-whitespace    spaces or tabs before the newline
+  crlf                   Windows line endings
+  missing-final-newline  file does not end with exactly one newline
 
-Suppress a finding by putting `imc-lint: allow(<rule>)` in a comment on the
-offending line (or the line above), stating why.
-
-Usage: lint.py <dir-or-file>...   (exit 1 if any finding survives)
+Usage: lint.py <dir-or-file>...   (exit 1 if any finding)
 """
 
 import os
-import re
 import sys
 
-RULES = [
-    ("wall-clock",
-     re.compile(r"std::chrono::(?:system_clock|steady_clock|"
-                r"high_resolution_clock)|\bgettimeofday\s*\(")),
-    ("global-rng",
-     re.compile(r"std::random_device|std::mt19937|\bsrand\s*\(|"
-                r"(?<![\w:])rand\s*\(")),
-    ("discarded-await", re.compile(r"\(void\)\s*co_await\b")),
-    ("discarded-status",
-     re.compile(r"\(void\)\s*(?!co_await\b)[A-Za-z_][\w:]*(?:\.|->)?[\w:]*"
-                r"\s*\(")),
-]
-
-LAMBDA_REF_CAPTURE = re.compile(r"(?<![\w\]])\[\s*&")
-RETRY_LOOP = re.compile(r"\b(?:for|while)\s*\(")
-SLEEP_CALL = re.compile(r"\bsleep\s*\(")
-ALLOW = re.compile(r"imc-lint:\s*allow\(([\w,\s-]+)\)")
-
-
-def in_fault_layer(path):
-    """src/fault/ is the one place retry loops are allowed to live."""
-    return "fault" in os.path.normpath(path).split(os.sep)
-
-# Directories where imc::trace records events: src/trace itself plus every
-# instrumented subsystem. A real-time call here would stamp wall-clock time
-# into a stream whose whole contract is simulated time, so the wall-clock
-# ban is broader than the global rule (any std::chrono use, time(),
-# clock_gettime). src/sweep drives OS worker threads and is exempt.
-TRACE_TIME_DIRS = frozenset({
-    "trace", "net", "mem", "dataspaces", "dimes", "flexpath", "decaf",
-    "mpi", "lustre", "workflow", "sim",
-})
-
-
-def in_trace_scope(path):
-    return not TRACE_TIME_DIRS.isdisjoint(
-        os.path.normpath(path).split(os.sep))
-
-
-# (rule, pattern, path predicate): applied only where the predicate holds.
-PATH_RULES = [
-    ("trace-real-time",
-     re.compile(r"std::chrono\b|\bclock_gettime\s*\(|(?<![\w.])time\s*\("),
-     in_trace_scope),
-]
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving offsets."""
-    out = list(text)
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            while i < n and text[i] != "\n":
-                out[i] = " "
-                i += 1
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            while i < n and not (text[i] == "*" and i + 1 < n
-                                 and text[i + 1] == "/"):
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i + 1 < n:
-                out[i] = out[i + 1] = " "
-                i += 2
-        elif c in "\"'":
-            quote = c
-            out[i] = " "
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out[i] = " "
-                    i += 1
-                    if i < n and text[i] != "\n":
-                        out[i] = " "
-                        i += 1
-                    continue
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                i += 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def allowed_rules(raw_lines, lineno):
-    """Suppressions on this line or the line above (1-based lineno)."""
-    rules = set()
-    for idx in (lineno - 1, lineno - 2):
-        if 0 <= idx < len(raw_lines):
-            m = ALLOW.search(raw_lines[idx])
-            if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
-
-
-def lambda_body_has_await(code, start):
-    """From a `[&` introducer, brace-match the lambda body if one follows."""
-    close = code.find("]", start)
-    if close == -1:
-        return False
-    # Skip params / specifiers / trailing return type up to the body brace.
-    i = close + 1
-    limit = min(len(code), i + 400)
-    while i < limit and code[i] != "{":
-        if code[i] == ";":
-            return False  # not a lambda after all
-        i += 1
-    if i >= limit or code[i] != "{":
-        return False
-    depth = 0
-    body_start = i
-    while i < len(code):
-        if code[i] == "{":
-            depth += 1
-        elif code[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return "co_await" in code[body_start:i]
-        i += 1
-    return False
-
-
-def retry_loop_sleeps(code, start):
-    """From a `for (` / `while (` match, flag loops that hand-roll backoff.
-
-    Paren-matches the loop header; if it names an attempt counter, brace-
-    matches the loop body and reports whether it sleeps (engine.sleep,
-    co_await ...sleep(...), etc.) — the shape of an ad-hoc retry loop.
-    """
-    open_paren = code.find("(", start)
-    if open_paren == -1:
-        return False
-    depth = 0
-    i = open_paren
-    while i < len(code):
-        if code[i] == "(":
-            depth += 1
-        elif code[i] == ")":
-            depth -= 1
-            if depth == 0:
-                break
-        i += 1
-    if i >= len(code):
-        return False
-    if "attempt" not in code[open_paren:i].lower():
-        return False
-    # Skip to the loop body; a bare `;` body or statement-loop can't hide a
-    # multi-line retry dance, so only braced bodies are scanned.
-    j = i + 1
-    limit = min(len(code), j + 200)
-    while j < limit and code[j] not in "{;":
-        j += 1
-    if j >= limit or code[j] != "{":
-        return False
-    depth = 0
-    body_start = j
-    while j < len(code):
-        if code[j] == "{":
-            depth += 1
-        elif code[j] == "}":
-            depth -= 1
-            if depth == 0:
-                return bool(SLEEP_CALL.search(code[body_start:j]))
-        j += 1
-    return False
+EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
 
 
 def lint_file(path):
-    with open(path, encoding="utf-8") as f:
-        text = f.read()
-    raw_lines = text.split("\n")
-    code = strip_comments_and_strings(text)
-    code_lines = code.split("\n")
+    with open(path, "rb") as f:
+        blob = f.read()
     findings = []
-
-    for lineno, line in enumerate(code_lines, start=1):
-        for rule, pattern in RULES:
-            if pattern.search(line) and rule not in allowed_rules(
-                    raw_lines, lineno):
-                findings.append((path, lineno, rule, raw_lines[lineno - 1]))
-        for rule, pattern, applies in PATH_RULES:
-            if applies(path) and pattern.search(line) and \
-                    rule not in allowed_rules(raw_lines, lineno):
-                findings.append((path, lineno, rule, raw_lines[lineno - 1]))
-
-    for m in LAMBDA_REF_CAPTURE.finditer(code):
-        lineno = code.count("\n", 0, m.start()) + 1
-        if "ref-capture-await" in allowed_rules(raw_lines, lineno):
-            continue
-        if lambda_body_has_await(code, m.start()):
-            findings.append((path, lineno, "ref-capture-await",
-                            raw_lines[lineno - 1]))
-
-    if not in_fault_layer(path):
-        for m in RETRY_LOOP.finditer(code):
-            lineno = code.count("\n", 0, m.start()) + 1
-            if "adhoc-retry" in allowed_rules(raw_lines, lineno):
-                continue
-            if retry_loop_sleeps(code, m.start()):
-                findings.append((path, lineno, "adhoc-retry",
-                                raw_lines[lineno - 1]))
+    if b"\r" in blob:
+        lineno = blob[:blob.index(b"\r")].count(b"\n") + 1
+        findings.append((path, lineno, "crlf", "carriage return found"))
+    if blob and not blob.endswith(b"\n"):
+        lineno = blob.count(b"\n") + 1
+        findings.append((path, lineno, "missing-final-newline",
+                         "file must end with a newline"))
+    for lineno, line in enumerate(blob.split(b"\n"), start=1):
+        stripped = line.rstrip(b"\r")
+        if b"\t" in stripped:
+            findings.append((path, lineno, "tab-indent",
+                             "tab character; use spaces"))
+        if stripped != stripped.rstrip():
+            findings.append((path, lineno, "trailing-whitespace",
+                             "whitespace before end of line"))
     return findings
 
 
@@ -251,21 +53,19 @@ def main(argv):
             print(f"lint: no such file or directory: {target}")
             return 2
         for root, _, names in os.walk(target):
-            files.extend(
-                os.path.join(root, n) for n in names
-                if n.endswith((".h", ".cpp", ".cc", ".hpp")))
+            files.extend(os.path.join(root, n) for n in names
+                         if n.endswith(EXTENSIONS))
 
     findings = []
     for path in sorted(files):
         findings.extend(lint_file(path))
 
-    for path, lineno, rule, line in findings:
-        print(f"{path}:{lineno}: [{rule}] {line.strip()}")
+    for path, lineno, rule, message in findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
     if findings:
-        print(f"\n{len(findings)} lint finding(s). Suppress intentional "
-              "ones with `imc-lint: allow(<rule>)` and a justification.")
+        print(f"\n{len(findings)} style finding(s).")
         return 1
-    print(f"lint: {len(files)} files clean")
+    print(f"lint: {len(files)} files clean (style)")
     return 0
 
 

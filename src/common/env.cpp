@@ -12,6 +12,8 @@ namespace {
 
 [[noreturn]] void die(const Status& status) {
   std::fprintf(stderr, "imc: %s\n", status.message().c_str());
+  // The *_or_die contract: a garbage env knob must terminate before any
+  // half-configured scenario runs. imc-analyze: allow(raw-exit-in-library)
   std::exit(2);
 }
 

@@ -73,7 +73,8 @@ sim::Task<> Comm::barrier(int rank) {
   for (int dist = 1; dist < n; ++round, dist <<= 1) {
     const int tag = base - round;
     co_await send(rank, (rank + dist) % n, tag, 0);
-    // Barrier round: the message is the event. imc-lint: allow(discarded-await)
+    // Barrier round: the message is the event; its payload carries no
+    // status. imc-analyze: allow(discarded-result)
     (void)co_await recv(rank, (rank - dist + n) % n, tag);
   }
 }

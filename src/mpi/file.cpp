@@ -63,8 +63,8 @@ sim::Task<Status> File::write_at_all(int rank, std::uint64_t offset,
   if (!is_aggregator(rank)) {
     // Phase 1: ship the buffer to the node aggregator (node-local copy).
     co_await comm_->send(rank, aggregator, tag, bytes);
-    // Phase 2 happens at the aggregator; wait for its completion signal.
-    // imc-lint: allow(discarded-await)
+    // Phase 2 happens at the aggregator; wait for its completion signal —
+    // the signal itself is the result. imc-analyze: allow(discarded-result)
     (void)co_await comm_->recv(rank, aggregator, tag);
     co_return Status::ok();
   }

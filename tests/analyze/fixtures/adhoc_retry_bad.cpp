@@ -1,0 +1,17 @@
+// must-flag: adhoc-retry — an attempt-counting loop that sleeps forks the
+// shared backoff/jitter policy.
+namespace sim {
+struct Engine {
+  double sleep(double dt);
+};
+}  // namespace sim
+
+bool try_put();
+
+bool put_with_retries(sim::Engine& engine) {
+  for (int attempt = 0; attempt < 5; ++attempt) {   // FLAG
+    if (try_put()) return true;
+    engine.sleep(0.001 * (attempt + 1));            // hand-rolled backoff
+  }
+  return false;
+}

@@ -1,0 +1,25 @@
+// must-pass: adhoc-retry — attempt loops that do not sleep (pure
+// computation), and sleeping loops that are not retries.
+struct Policy {
+  double backoff(int attempt, int op_key) const;
+};
+
+double total_backoff(const Policy& policy) {
+  double sum = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {  // no sleep: fine
+    sum += policy.backoff(attempt, 7);
+  }
+  return sum;
+}
+
+namespace sim {
+struct Engine {
+  double sleep(double dt);
+};
+}  // namespace sim
+
+void pace(sim::Engine& engine, int steps) {
+  for (int i = 0; i < steps; ++i) {  // sleeps, but no attempt counter
+    engine.sleep(1.0);
+  }
+}

@@ -1,0 +1,17 @@
+// must-flag: co-await-under-lock — suspending with a mutex held.
+#include <mutex>
+
+struct Task {};
+struct Mailbox {
+  Task pop();
+};
+
+Task drain(std::mutex& mu, Mailbox& box) {
+  std::lock_guard<std::mutex> lock(mu);
+  co_await box.pop();                     // FLAG: suspends holding mu
+}
+
+Task drain_ctad(std::mutex& mu, Mailbox& box) {
+  std::scoped_lock lock(mu);
+  co_await box.pop();                     // FLAG: CTAD form
+}

@@ -1,0 +1,17 @@
+// must-pass: co-await-under-lock — the guard is scoped tightly so the
+// lock is released before any suspension point.
+#include <mutex>
+
+struct Task {};
+struct Mailbox {
+  Task pop();
+};
+struct Item {};
+
+Task drain(std::mutex& mu, Mailbox& box, Item& staged) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    staged = Item{};                      // copy out under the lock
+  }
+  co_await box.pop();                     // awaits with the lock released
+}

@@ -1,0 +1,21 @@
+// must-flag: detached-coroutine-lifetime — frames referencing state that
+// dies before they resume.
+struct Task {};
+struct Engine {
+  void spawn(Task task);
+  Task sleep(double dt);
+};
+
+void ref_capture(Engine& engine, int& counter) {
+  auto loop = [&counter, &engine]() -> Task {   // FLAG: refs outlive scope
+    co_await engine.sleep(1.0);
+    ++counter;
+  };
+  engine.spawn(loop());
+}
+
+void capture_into_spawn(Engine& engine, int budget) {
+  engine.spawn([budget]() -> Task {             // FLAG: closure is a
+    co_return;                                  // temporary; captures are
+  }());                                         // not copied to the frame
+}

@@ -1,0 +1,19 @@
+// must-pass: detached-coroutine-lifetime — the blessed idiom: a
+// capture-free lambda whose state arrives as coroutine parameters (copied
+// into the frame) or references the caller guarantees outlive the run.
+struct Task {};
+struct Engine {
+  void spawn(Task task);
+  Task sleep(double dt);
+};
+
+void explicit_params(Engine& engine, int budget) {
+  engine.spawn([](Engine& e, int n) -> Task {
+    for (int i = 0; i < n; ++i) co_await e.sleep(1.0);
+  }(engine, budget));
+}
+
+int plain_lambda(int x) {
+  auto double_it = [x] { return 2 * x; };  // captures, but no coroutine
+  return double_it();
+}

@@ -1,0 +1,18 @@
+// must-flag: discarded-result — (void) on Status-bearing calls.
+struct Status {
+  bool is_ok() const;
+};
+struct Task {};
+struct Client {
+  Task init();
+  Status deploy(int nodes);
+};
+
+Task run(Client& client) {
+  (void)co_await client.init();   // FLAG: awaited Status dropped
+  co_return;
+}
+
+void setup(Client& client) {
+  (void)client.deploy(4);         // FLAG: call result dropped
+}

@@ -1,0 +1,25 @@
+// must-pass: discarded-result — results are bound and checked; plain
+// unused-variable silencing stays legal.
+struct Status {
+  bool is_ok() const;
+};
+struct Task {};
+struct Client {
+  Task init();
+  Status deploy(int nodes);
+};
+
+Task run(Client& client) {
+  Status st = co_await client.init();
+  if (!st.is_ok()) co_return;
+  co_return;
+}
+
+bool setup(Client& client) {
+  Status st = client.deploy(4);
+  return st.is_ok();
+}
+
+void silence(int unused_value) {
+  (void)unused_value;  // no call: plain unused-variable suppression
+}

@@ -1,0 +1,12 @@
+// must-flag: env-without-or-die — raw getenv half-parses garbage knobs.
+#include <cstdlib>
+#include <string>
+
+int worker_threads() {
+  const char* raw = std::getenv("IMC_THREADS");   // FLAG
+  return raw ? std::stoi(raw) : 1;                // stoi throws on garbage
+}
+
+bool full_scale() {
+  return getenv("IMC_FULL_SCALE") != nullptr;     // FLAG
+}

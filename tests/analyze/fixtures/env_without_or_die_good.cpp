@@ -1,0 +1,15 @@
+// must-pass: env-without-or-die — knobs flow through the validated,
+// fail-fast wrappers.
+namespace imc::env {
+bool flag_or_die(const char* name, bool fallback);
+long long int_or_die(const char* name, long long fallback, long long min,
+                     long long max);
+}  // namespace imc::env
+
+int worker_threads() {
+  return static_cast<int>(imc::env::int_or_die("IMC_THREADS", 1, 1, 256));
+}
+
+bool full_scale() {
+  return imc::env::flag_or_die("IMC_FULL_SCALE", false);
+}

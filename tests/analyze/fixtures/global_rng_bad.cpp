@@ -1,0 +1,14 @@
+// must-flag: global-rng — process-seeded randomness.
+#include <cstdlib>
+#include <random>
+
+int noisy_delay() {
+  std::random_device rd;                    // FLAG
+  std::mt19937 gen(rd());                   // FLAG
+  return static_cast<int>(gen());
+}
+
+int legacy_noise() {
+  srand(1234);                              // FLAG
+  return rand();                            // FLAG
+}

@@ -1,0 +1,22 @@
+// must-pass: global-rng — explicitly seeded generator, and identifiers
+// that merely contain the banned names.
+#include <cstdint>
+
+namespace imc {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t next_u64();
+};
+}  // namespace imc
+
+std::uint64_t draw(std::uint64_t seed) {
+  imc::Rng rng(seed);
+  return rng.next_u64();
+}
+
+std::uint64_t operand(std::uint64_t x);  // `rand` inside a word: fine
+
+std::uint64_t spread(std::uint64_t x) {
+  return operand(x);
+}

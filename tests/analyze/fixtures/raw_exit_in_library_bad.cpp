@@ -1,0 +1,13 @@
+// must-flag: raw-exit-in-library — library code killing the process.
+#include <cstdlib>
+
+bool configure(int servers) {
+  if (servers <= 0) {
+    std::exit(2);       // FLAG: takes down every world in the sweep pool
+  }
+  return true;
+}
+
+void ensure(bool ok) {
+  if (!ok) abort();     // FLAG
+}

@@ -1,0 +1,22 @@
+// must-pass: raw-exit-in-library — failures surface as Status values and
+// identifiers containing the banned names stay untouched.
+struct Status {
+  static Status ok();
+  static Status error(const char* what);
+  bool is_ok() const;
+};
+
+Status configure(int servers) {
+  if (servers <= 0) {
+    return Status::error("num_servers must be positive");
+  }
+  return Status::ok();
+}
+
+struct Transport {
+  void exit_drain_mode();  // `exit` as a name fragment: fine
+};
+
+void resume(Transport& transport) {
+  transport.exit_drain_mode();
+}

@@ -1,0 +1,27 @@
+// must-flag: scoped-binding — temporaries, heap guards, and binding after
+// the accessor already ran.
+namespace audit {
+struct Auditor {};
+Auditor& global();
+}  // namespace audit
+
+struct ScopedAuditor {
+  explicit ScopedAuditor(audit::Auditor& auditor);
+  ~ScopedAuditor();
+  ScopedAuditor(const ScopedAuditor&) = delete;
+};
+
+void temporary_guard(audit::Auditor& world) {
+  ScopedAuditor(world);            // FLAG: unbinds at end of expression
+  audit::global();                 // ...so this reads the old binding
+}
+
+void heap_guard(audit::Auditor& world) {
+  auto* bind = new ScopedAuditor(world);  // FLAG: scope-decoupled guard
+  (void)bind;
+}
+
+void bound_too_late(audit::Auditor& world) {
+  audit::global();                 // reads the previous world's binding
+  ScopedAuditor bind(world);       // FLAG: constructed after first use
+}

@@ -1,0 +1,21 @@
+// must-pass: scoped-binding — a named stack guard constructed before any
+// accessor use, plus accessor-only code (fallback binding is legal).
+namespace audit {
+struct Auditor {};
+Auditor& global();
+}  // namespace audit
+
+struct ScopedAuditor {
+  explicit ScopedAuditor(audit::Auditor& auditor);
+  ~ScopedAuditor();
+  ScopedAuditor(const ScopedAuditor&) = delete;
+};
+
+void run_world(audit::Auditor& world) {
+  ScopedAuditor bind(world);   // named, first thing in the scope
+  audit::global();             // reads the fresh binding
+}
+
+void fallback_only() {
+  audit::global();             // no guard in scope: process-wide fallback
+}

@@ -1,0 +1,14 @@
+// must-pass: inline suppressions — both same-line and line-above forms
+// silence exactly the named rule; the driver also re-runs this file with
+// suppressions ignored (by rewriting them) to prove the findings exist.
+#include <cstdlib>
+
+void die_by_design(bool ok) {
+  // This helper is the process's documented die path.
+  // imc-analyze: allow(raw-exit-in-library)
+  if (!ok) std::exit(2);
+}
+
+long epoch() {
+  return time(nullptr);  // start-of-run banner. imc-analyze: allow(wall-clock)
+}

@@ -1,0 +1,17 @@
+// must-flag: unordered-iteration — hash-order loop feeding stdout.
+// Fixtures are analyzed textually, never compiled.
+#include <cstdio>
+#include <unordered_map>
+
+void dump_counts(const std::unordered_map<int, int>& counts) {
+  for (const auto& [key, value] : counts) {   // FLAG: order reaches printf
+    std::printf("%d=%d\n", key, value);
+  }
+}
+
+void dump_moved(std::unordered_map<int, int>& live) {
+  auto snapshot = std::move(live);            // unordered-ness propagates
+  for (const auto& [key, value] : snapshot) {  // FLAG
+    std::printf("%d=%d\n", key, value);
+  }
+}

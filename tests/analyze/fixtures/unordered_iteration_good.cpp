@@ -1,0 +1,23 @@
+// must-pass: unordered-iteration — the two blessed patterns: a sorted
+// snapshot before anything observable, and sink-free accumulation.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+void dump_sorted(const std::unordered_map<int, int>& counts) {
+  std::vector<std::pair<int, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [key, value] : rows) {  // sorted: deterministic order
+    std::printf("%d=%d\n", key, value);
+  }
+}
+
+int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  for (const auto& [key, value] : counts) {  // order-insensitive fold
+    sum += value;
+  }
+  return sum;
+}

@@ -1,0 +1,20 @@
+// must-flag: wall-clock — real time in simulated code.
+#include <chrono>
+#include <ctime>
+
+double stamp_now() {
+  auto t0 = std::chrono::steady_clock::now();              // FLAG
+  auto t1 = std::chrono::high_resolution_clock::now();     // FLAG
+  (void)t1;
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long epoch_seconds() {
+  return time(nullptr);                                    // FLAG
+}
+
+double posix_stamp() {
+  struct timespec ts;
+  clock_gettime(0, &ts);                                   // FLAG
+  return static_cast<double>(ts.tv_sec);
+}

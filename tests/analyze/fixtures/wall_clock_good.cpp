@@ -1,0 +1,26 @@
+// must-pass: wall-clock — simulated time plus identifiers that merely
+// *contain* the banned names (token accuracy: a regex on `time(` or
+// `clock` would flag several of these).
+namespace sim {
+struct Engine {
+  double now() const;
+};
+}  // namespace sim
+
+double format_time(double seconds);  // `time(` inside an identifier: fine
+
+double elapsed(const sim::Engine& engine, double start) {
+  return engine.now() - start;
+}
+
+double runtime(const sim::Engine& engine) {  // ...and as a suffix: fine
+  return format_time(engine.now());
+}
+
+struct Clock {          // a simulated clock type, not a real one
+  double tick = 0;
+};
+
+double read_clock(const Clock& clock) {
+  return clock.tick;    // member access, not the libc clock() call
+}

@@ -189,6 +189,9 @@ TEST(Task, ExceptionPropagatesThroughAwaitChain) {
       throw std::runtime_error("inner failure");
       co_return 0;  // unreachable
     };
+    // Safe ref capture: `middle()` is awaited immediately below, and both
+    // closures are locals of the awaiting frame, so they outlive the
+    // nested coroutine. imc-analyze: allow(detached-coroutine-lifetime)
     auto middle = [&]() -> Task<int> { co_return co_await inner(); };
     try {
       co_await middle();
