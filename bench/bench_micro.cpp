@@ -11,8 +11,10 @@
 #include "ndarray/ndarray.h"
 #include "net/fabric.h"
 #include "net/transport.h"
+#include "common/log.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
+#include "sweep/sweep.h"
 #include "trace/trace.h"
 
 using namespace imc;
@@ -254,6 +256,75 @@ void BM_SlabCopyStridedTraced(benchmark::State& state) {
                           static_cast<std::int64_t>(src_box.volume() * 8));
 }
 BENCHMARK(BM_SlabCopyStridedTraced)->Arg(64);
+
+// Per-sweep dispatch overhead: the pool's cost of running trivial jobs —
+// worker recruitment, context rebinding, ordered log/chunk flush — with no
+// actual work inside. Arg is the worker count (1 = the sequential path).
+void BM_SweepOverhead(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr std::size_t kJobs = 256;
+  for (auto _ : state) {
+    sweep::Pool(threads).run_indexed(kJobs, [](std::size_t i) {
+      benchmark::DoNotOptimize(i);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kJobs));
+}
+BENCHMARK(BM_SweepOverhead)->Arg(1)->Arg(2);
+
+// Per-world context cost, isolated from the pool: Fresh builds a new
+// WorldContext (auditor ledger maps, arena chunk) for every job; Reused is
+// the pool's actual pattern — one context whose run() resets the ledger and
+// rewinds the arena. The gap between the two is what world reuse saves.
+void BM_WorldSetupTeardownFresh(benchmark::State& state) {
+  for (auto _ : state) {
+    sweep::WorldContext world;
+    world.run([] {
+      IMC_WARN() << "world heartbeat";
+      benchmark::ClobberMemory();
+    });
+    benchmark::DoNotOptimize(world.take_logs().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldSetupTeardownFresh);
+
+void BM_WorldSetupTeardownReused(benchmark::State& state) {
+  sweep::WorldContext world;
+  for (auto _ : state) {
+    world.run([] {
+      IMC_WARN() << "world heartbeat";
+      benchmark::ClobberMemory();
+    });
+    benchmark::DoNotOptimize(world.take_logs().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldSetupTeardownReused);
+
+// Log capture + flush cost: format N lines into a buffered sink, then
+// move-flush the rope to the outer buffer. The chunked LogText append and
+// splice are what keep this linear in bytes with no intermediate copies.
+void BM_LogCaptureFlush(benchmark::State& state) {
+  const int lines = static_cast<int>(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ScopedLogBuffer outer;
+    {
+      ScopedLogBuffer inner;
+      for (int i = 0; i < lines; ++i) {
+        log_message(LogLevel::kWarn, "staged object advanced a step");
+      }
+    }  // ~inner splices its rope into outer: chunk moves, no byte copies.
+    bytes = outer.take().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * lines);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LogCaptureFlush)->Arg(1024);
 
 void BM_HilbertDistance(benchmark::State& state) {
   std::vector<std::uint32_t> point = {12345, 6789};

@@ -494,6 +494,7 @@ _SCOPED_FAMILIES = {
     "ScopedRecorder": (("trace", "global"), ("", "bound_recorder"),
                        ("internal", "bound_recorder")),
     "ScopedFaultPlan": (("fault", "active"), ("", "active")),
+    "ScopedArena": (("arena", "current"),),
     "ScopedLogBuffer": (),
     "ScopedTraceBuffer": (),
 }

@@ -95,6 +95,34 @@ print("stdout hashes identical at IMC_THREADS=1 and 2:",
       ", ".join(sorted(a)))
 EOF
 
+# Sweep perf gate: the pool must actually speed the smoke sweep up. The two
+# smoke runs above produced sequential (t1) and pooled (t2) wall clocks for
+# the same scenarios; their ratio is the measured speedup. Hard-fails below
+# the floor on multi-core hosts; degrades to a warning with
+# IMC_PERF_GATE_SOFT=1 or automatically when the host has a single core
+# (no parallel speedup is physically possible there).
+echo "==> sweep perf gate (smoke sweep_speedup >= 1.3 at IMC_THREADS=2)"
+if ! python3 - "$repo/build-bench-smoke/BENCH_smoke_t1.json" \
+              "$repo/build-bench-smoke/BENCH_smoke_t2.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p))["scenarios"] for p in sys.argv[1:3])
+seq = sum(r["wall_seconds"] for r in a.values())
+par = sum(r["wall_seconds"] for r in b.values())
+speedup = seq / par if par > 0 else 0.0
+print(f"smoke sweep_speedup at IMC_THREADS=2: {speedup:.2f} "
+      f"(sequential {seq:.2f}s, pooled {par:.2f}s)")
+sys.exit(0 if speedup >= 1.3 else 1)
+EOF
+then
+  if [ "${IMC_PERF_GATE_SOFT:-0}" = "1" ] || [ "$(nproc)" -lt 2 ]; then
+    echo "WARN: sweep_speedup below 1.3 at IMC_THREADS=2 — soft gate" \
+         "(IMC_PERF_GATE_SOFT=${IMC_PERF_GATE_SOFT:-0}, $(nproc) core(s))"
+  else
+    echo "FAIL: sweep_speedup below 1.3 at IMC_THREADS=2" >&2
+    exit 1
+  fi
+fi
+
 # Trace smoke: a Fig. 2 run with IMC_TRACE must produce a Perfetto-loadable
 # export carrying spans from the fabric, memory, DataSpaces, and workflow
 # layers, and the metric digest chain must not depend on the sweep width.

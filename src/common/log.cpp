@@ -31,6 +31,34 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
+void LogText::grow_and_append(std::string_view text) {
+  std::string chunk;
+  chunk.reserve(text.size() > kChunkBytes ? text.size() : kChunkBytes);
+  chunk.append(text);
+  chunks_.push_back(std::move(chunk));
+}
+
+void LogText::splice(LogText&& other) {
+  if (other.bytes_ == 0) return;
+  bytes_ += other.bytes_;
+  if (chunks_.empty()) {
+    chunks_ = std::move(other.chunks_);
+  } else {
+    for (std::string& chunk : other.chunks_) {
+      chunks_.push_back(std::move(chunk));
+    }
+  }
+  other.chunks_.clear();
+  other.bytes_ = 0;
+}
+
+std::string LogText::str() const {
+  std::string joined;
+  joined.reserve(bytes_);
+  for (const std::string& chunk : chunks_) joined.append(chunk);
+  return joined;
+}
+
 LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
@@ -39,17 +67,19 @@ void set_log_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-void log_message(LogLevel level, const std::string& msg) {
+void log_message(LogLevel level, std::string_view msg) {
   if (level < log_level()) return;
   if (t_buffer != nullptr) {
-    t_buffer->buffer_.append("[");
-    t_buffer->buffer_.append(level_name(level));
-    t_buffer->buffer_.append("] ");
-    t_buffer->buffer_.append(msg);
-    t_buffer->buffer_.push_back('\n');
+    LogText& buffer = t_buffer->buffer_;
+    buffer.append("[");
+    buffer.append(level_name(level));
+    buffer.append("] ");
+    buffer.append(msg);
+    buffer.append("\n");
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
 }
 
 ScopedLogBuffer::ScopedLogBuffer() : previous_(t_buffer) { t_buffer = this; }
@@ -63,14 +93,22 @@ ScopedLogBuffer::~ScopedLogBuffer() {
   // themselves.
   if (!buffer_.empty()) {
     if (previous_ != nullptr) {
-      previous_->buffer_.append(buffer_);
+      previous_->buffer_.splice(std::move(buffer_));
     } else {
       write_log_output(buffer_);
     }
   }
 }
 
-void write_log_output(const std::string& text) {
+void write_log_output(const LogText& text) {
+  if (text.empty()) return;
+  for (const std::string& chunk : text.chunks()) {
+    std::fwrite(chunk.data(), 1, chunk.size(), stderr);
+  }
+  std::fflush(stderr);
+}
+
+void write_log_output(std::string_view text) {
   if (text.empty()) return;
   std::fwrite(text.data(), 1, text.size(), stderr);
   std::fflush(stderr);

@@ -8,8 +8,12 @@
 // than interleaving across worker threads.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace imc {
 
@@ -17,7 +21,61 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 
 LogLevel log_level();
 void set_log_level(LogLevel level);
-void log_message(LogLevel level, const std::string& msg);
+void log_message(LogLevel level, std::string_view msg);
+
+// Captured log bytes as a chunked rope. Appends land in a reserved tail
+// chunk and handing the capture onward (take(), splice(), the unwind flush)
+// moves whole chunks, so a sweep job's log bytes are formatted once and
+// never copied again on their way to the submission-order flush. The
+// chunks are an implementation detail: observable output is the
+// concatenation in append order.
+class LogText {
+ public:
+  LogText() = default;
+  LogText(LogText&&) = default;
+  LogText& operator=(LogText&&) = default;
+  LogText(const LogText&) = delete;
+  LogText& operator=(const LogText&) = delete;
+
+  bool empty() const { return bytes_ == 0; }
+  std::size_t size() const { return bytes_; }
+
+  void append(std::string_view text) {
+    if (text.empty()) return;
+    bytes_ += text.size();
+    if (!chunks_.empty()) {
+      std::string& tail = chunks_.back();
+      if (tail.size() + text.size() <= tail.capacity()) {
+        tail.append(text);
+        return;
+      }
+    }
+    grow_and_append(text);
+  }
+
+  // Moves every chunk of `other` to the end of this rope (other ends empty).
+  void splice(LogText&& other);
+
+  void clear() {
+    chunks_.clear();
+    bytes_ = 0;
+  }
+
+  // Joins the rope into one string (tests and diagnostics; the hot flush
+  // path writes chunks directly — see write_log_output).
+  std::string str() const;
+
+  // Chunk access for sinks; never contains empty strings.
+  const std::vector<std::string>& chunks() const { return chunks_; }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 4096;
+
+  void grow_and_append(std::string_view text);
+
+  std::vector<std::string> chunks_;
+  std::size_t bytes_ = 0;
+};
 
 // While alive, log output on this thread is appended to this buffer instead
 // of being written to stderr. Bindings nest: the innermost buffer captures.
@@ -32,26 +90,28 @@ class ScopedLogBuffer {
   ScopedLogBuffer(const ScopedLogBuffer&) = delete;
   ScopedLogBuffer& operator=(const ScopedLogBuffer&) = delete;
 
-  // Drains the captured bytes (formatted lines, newline-terminated).
-  std::string take() { return std::move(buffer_); }
+  // Drains the captured bytes (formatted lines, newline-terminated) as a
+  // rope — chunk moves, no concatenation copy.
+  LogText take() { return std::move(buffer_); }
   bool empty() const { return buffer_.empty(); }
 
  private:
-  friend void log_message(LogLevel, const std::string&);
-  std::string buffer_;
+  friend void log_message(LogLevel, std::string_view);
+  LogText buffer_;
   ScopedLogBuffer* previous_;
 };
 
 // Writes previously captured log bytes to the real sink (stderr). Exposed
 // so the sweep pool can flush per-job buffers in submission order.
-void write_log_output(const std::string& text);
+void write_log_output(const LogText& text);
+void write_log_output(std::string_view text);
 
 namespace detail {
 
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
+  ~LogLine() { log_message(level_, std::move(stream_).str()); }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 

@@ -12,15 +12,17 @@
 // see DESIGN.md, "Correctness tooling".
 #pragma once
 
+#include <bit>
+#include <cmath>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/task.h"
 
 namespace imc::sim {
@@ -55,8 +57,38 @@ class Engine {
   // Schedules a raw coroutine handle. Used by awaitables; most code should
   // use sleep()/spawn() instead. Non-finite or past times are clamped to
   // now() and recorded as a process failure (a NaN would otherwise poison
-  // the priority-queue ordering).
-  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  // the event ordering). Defined inline: this is the hottest function in the
+  // simulator and the common cases — append to the near batch, append to the
+  // ready tail — must inline into the awaitables that call it.
+  void schedule_at(SimTime t, std::coroutine_handle<> h) {
+    if (!std::isfinite(t) || !(t >= now_)) t = clamp_to_now();
+    const std::uint64_t seq = next_seq_++;
+    const Event ev{tie_break_key(seq), seq, h};
+    if (t != now_) {
+      if (!near_.empty()) {
+        if (t == near_time_) {
+          near_.push_back(ev);
+          return;
+        }
+        if (t > near_time_) {
+          push_far(t, ev);
+          return;
+        }
+        demote_near();  // a nearer instant arrived: move near_ to the wheel
+      }
+      near_time_ = t;
+      near_.push_back(ev);
+      return;
+    }
+    // Same-instant event: place it into the ready batch at its tie-break
+    // rank. Under FIFO the rank is the scheduling order, so this is a pure
+    // append; other policies pay an ordered insert into the pending tail.
+    if (ready_head_ == ready_.size() || event_before(ready_.back(), ev)) {
+      ready_.push_back(ev);
+      return;
+    }
+    ready_insert(ev);
+  }
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
   // co_await engine.sleep(dt): resume dt simulated seconds later. NaN,
@@ -71,7 +103,8 @@ class Engine {
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this, now_ + sanitize_dt(dt)};
+    const SimTime safe = std::isfinite(dt) && dt >= 0 ? dt : sanitize_dt(dt);
+    return Awaiter{this, now_ + safe};
   }
 
   // co_await engine.yield(): requeue at the current instant, letting other
@@ -127,7 +160,7 @@ class Engine {
   // Enables recording of the first `limit` popped events, so a digest
   // mismatch can be pinned to the first diverging event.
   void record_trace(std::size_t limit) {
-    trace_limit_ = limit;
+    trace_remaining_ = limit;
     trace_.clear();
     trace_.reserve(limit < 4096 ? limit : 4096);
   }
@@ -137,32 +170,110 @@ class Engine {
   void on_root_done(std::coroutine_handle<> root);
 
  private:
+  // One scheduled resume. Its instant lives on the containing batch (the
+  // near batch, a far bucket, or the current ready batch), so the per-event
+  // footprint is 24 bytes and batch moves never copy timestamps.
   struct Event {
-    SimTime time;
     std::uint64_t key;  // tie-break rank within the same instant
     std::uint64_t seq;
     std::coroutine_handle<> handle;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      if (key != other.key) return key > other.key;
-      return seq > other.seq;
-    }
+  };
+  // Heap entry: every event scheduled for `time` beyond the near batch sits
+  // in buckets_[bucket]. Several entries may share a time (appends that
+  // missed the bucket caches); the drain merges them.
+  struct Instant {
+    SimTime time;
+    std::uint32_t bucket;
   };
 
-  // Maps dt onto a safe, non-negative finite value (see sleep()).
+  // Maps dt onto a safe, non-negative finite value (see sleep()). Only the
+  // slow path (clamping + failure record) lives out of line.
   SimTime sanitize_dt(SimTime dt);
-  std::uint64_t tie_break_key(std::uint64_t seq) const;
-  void note_event(const Event& ev);
+  // Records the clamp failure and returns now() (see schedule_at()).
+  SimTime clamp_to_now();
+  std::uint64_t tie_break_key(std::uint64_t seq) const {
+    switch (schedule_.tie_break) {
+      case TieBreak::kFifo:
+        return seq;
+      case TieBreak::kLifo:
+        return ~seq;
+      case TieBreak::kSeededShuffle:
+        return splitmix64(schedule_.seed ^ seq);
+    }
+    return seq;
+  }
+  static bool event_before(const Event& a, const Event& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  }
+  // Folds one popped event into the rolling digest. Popped events always
+  // carry the current instant, so the fold reads now_ — the same value the
+  // per-event timestamp held before events were sharded into per-instant
+  // batches.
+  //
+  // The fold is split so the expensive avalanche (splitmix64 over the
+  // event's time and seq) sits OFF the loop-carried dependency: it reads
+  // only this event, so out-of-order cores compute it in parallel with
+  // earlier events' resumes. The carried chain is one xor and one odd
+  // multiply (the xorshift* finalizer constant), which keeps the fold
+  // order-sensitive. Defined inline: as an out-of-line call in the run loop
+  // it re-materialised the three 64-bit mix constants on every event and
+  // chained ~26 cycles of serial hash latency onto each pop, capping event
+  // throughput.
+  [[gnu::always_inline]] void note_event(const Event& ev) {
+    ++events_processed_;
+    // The scatter and chain multipliers reuse splitmix64's own internal
+    // constants so the whole fold needs only the constants the compiler
+    // already hoisted into registers for the inlined splitmix64.
+    const std::uint64_t mix =
+        splitmix64(std::bit_cast<std::uint64_t>(now_) ^
+                   (ev.seq * 0xbf58476d1ce4e5b9ull));
+    digest_ = (digest_ ^ mix) * 0x94d049bb133111ebull;
+    if (trace_remaining_ != 0) [[unlikely]] {
+      --trace_remaining_;
+      trace_.push_back(TraceEntry{now_, ev.seq});
+    }
+  }
+  // Files an event for a future instant beyond the near batch.
+  void push_far(SimTime t, const Event& ev);
+  // Ordered insert into the pending ready tail (non-FIFO same-instant path).
+  void ready_insert(const Event& ev);
+  // Moves the near batch onto the far wheel (a nearer instant arrived).
+  void demote_near();
+  // Refills ready_ from the earliest future instant; advances now_. Returns
+  // false when no future events remain or the deadline cuts them off.
+  bool advance_instant(SimTime deadline);
+  std::uint32_t acquire_bucket();
+  void heap_push(Instant instant);
+  void heap_pop();
 
   Schedule schedule_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  // Future events (time > now_) live on the heap; events scheduled for the
-  // current instant go straight into `ready_`, a tie-break-sorted batch
-  // whose storage is recycled across instants. yield()/schedule_now thus
-  // skip the heap entirely, and the pop order — (time, key, seq) ascending —
-  // is exactly what a single heap would produce, so digests are unchanged.
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Future events (time > now_) are sharded by instant instead of living in
+  // one per-event priority queue:
+  //  * `near_` batches the earliest known future instant (`near_time_`) —
+  //    the overwhelmingly common schedule target (the next wake of a
+  //    sleeping process, all ranks of a barrier) — so the hot path is a
+  //    plain vector append with zero heap traffic;
+  //  * `heap_` is a 4-ary min-heap of 16-byte {time, bucket} entries over
+  //    the remaining instants, one entry per *batch* rather than per event,
+  //    with `last_far_*` caching the most recent bucket so same-instant
+  //    appends (barrier wakes) skip the heap too;
+  //  * bucket storage recycles through `free_buckets_`, so steady-state
+  //    scheduling performs no allocation at all.
+  // Events scheduled for the current instant go straight into `ready_`, a
+  // tie-break-sorted batch whose storage is recycled across instants. The
+  // drain sorts each refilled batch by (key, seq) — already sorted under
+  // FIFO appends — so the pop order (time, key, seq ascending) is exactly
+  // what a single per-event heap would produce and digests are unchanged.
+  SimTime near_time_ = 0;
+  std::vector<Event> near_;
+  std::vector<Instant> heap_;
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<std::uint32_t> free_buckets_;
+  SimTime last_far_time_ = 0;
+  std::uint32_t last_far_bucket_ = 0;
+  bool last_far_valid_ = false;
   std::vector<Event> ready_;     // [ready_head_, end) sorted by (key, seq)
   std::size_t ready_head_ = 0;   // next ready event to resume
   // Live detached processes, keyed by frame address (handle recoverable via
@@ -179,7 +290,7 @@ class Engine {
   std::vector<std::string> failures_;
   std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // arbitrary non-zero start
   std::size_t events_processed_ = 0;
-  std::size_t trace_limit_ = 0;
+  std::size_t trace_remaining_ = 0;  // slots left in trace_ (countdown)
   std::vector<TraceEntry> trace_;
 };
 

@@ -19,6 +19,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/arena.h"
+
 namespace imc::sim {
 
 template <typename T = void>
@@ -42,6 +44,18 @@ struct TaskPromiseBase {
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   TaskFinalAwaiter final_suspend() noexcept { return {}; }
+
+  // Frames come from the world's arena when one is bound (imc::arena) —
+  // every co_awaited subroutine otherwise costs a global-heap round trip.
+  // The frame header routes the free back to the owning pool even when the
+  // binding has moved on by destruction time (engine teardown, reaping).
+  static void* operator new(std::size_t bytes) {
+    return arena::frame_allocate(bytes);
+  }
+  static void operator delete(void* p) noexcept { arena::frame_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    arena::frame_free(p);
+  }
 };
 
 template <typename T>

@@ -1,36 +1,57 @@
 #include "sweep/sweep.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <string>
 #include <thread>
 
-#include "common/audit.h"
 #include "common/env.h"
-#include "common/log.h"
-#include "trace/trace.h"
 
 namespace imc::sweep {
 namespace {
 
-// Runs one job under per-world isolation: a fresh auditor bound to this
-// thread and a buffered log sink. Returns the captured log bytes; a thrown
-// exception is left for the caller to record.
-template <typename Job>
-std::string run_isolated(const Job& job) {
-  audit::Auditor auditor;
-  audit::ScopedAuditor audit_scope(auditor);
-  ScopedLogBuffer log_buffer;
-  try {
-    job();
-  } catch (...) {
-    write_log_output(log_buffer.take());
-    throw;
-  }
-  return log_buffer.take();
+// IMC_TRACE_SWEEP=1 publishes wall-clock worker-occupancy spans (sweep.job
+// / sweep.idle) into the trace sink as a meta chunk. Off by default: the
+// spans are wall-clock by nature (they describe the host pool, not any
+// simulated world) and therefore live outside the byte-identity contracts.
+bool occupancy_spans_enabled() {
+  static const bool value =
+      env::int_or_die("IMC_TRACE_SWEEP", 0, 0, 1) == 1;
+  return value;
+}
+
+// Wall-clock seconds since `origin`. Confined to the occupancy-span
+// diagnostics; simulated-world timestamps must come from sim::Engine.
+double seconds_since(
+    std::chrono::steady_clock::time_point origin) {  // imc-analyze: allow(wall-clock)
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - origin)  // imc-analyze: allow(wall-clock)
+      .count();
 }
 
 }  // namespace
+
+void WorldContext::run(const std::function<void()>& job) {
+  // Rewind, then bind. The ledger clears unconditionally; the arena only
+  // rewinds its cursor when no blocks are outstanding (a leaked frame keeps
+  // its storage valid and merely forgoes the rewind).
+  auditor_.reset();
+  arena_.reset();
+  audit::ScopedAuditor audit_scope(auditor_);
+  arena::ScopedArena arena_scope(arena_);
+  ScopedLogBuffer log_buffer;
+  trace::ScopedTraceBuffer trace_buffer;
+  try {
+    job();
+  } catch (...) {
+    logs_ = log_buffer.take();
+    chunks_ = trace_buffer.take();
+    throw;
+  }
+  logs_ = log_buffer.take();
+  chunks_ = trace_buffer.take();
+}
 
 int default_threads() {
   static const int value = [] {
@@ -50,47 +71,98 @@ void Pool::run_indexed(std::size_t n,
   const std::size_t width = std::min(static_cast<std::size_t>(threads_), n);
 
   if (width <= 1) {
-    // Sequential path: jobs run inline in submission order; each job's log
-    // flushes as soon as it finishes, exceptions propagate immediately.
+    // Sequential path: jobs run inline in submission order on one reused
+    // context; each job's log flushes as soon as it finishes, trace chunks
+    // emit in order, exceptions propagate immediately (after flushing).
+    WorldContext world;
     for (std::size_t i = 0; i < n; ++i) {
-      write_log_output(run_isolated([&fn, i] { fn(i); }));
+      try {
+        world.run([&fn, i] { fn(i); });
+      } catch (...) {
+        write_log_output(world.take_logs());
+        for (trace::RunChunk& chunk : world.take_chunks()) {
+          trace::emit_chunk(std::move(chunk));
+        }
+        throw;
+      }
+      write_log_output(world.take_logs());
+      for (trace::RunChunk& chunk : world.take_chunks()) {
+        trace::emit_chunk(std::move(chunk));
+      }
     }
     return;
   }
 
-  std::vector<std::string> logs(n);
+  std::vector<LogText> logs(n);
   std::vector<std::vector<trace::RunChunk>> chunks(n);
   std::vector<std::exception_ptr> errors(n);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
 
-  auto work = [&logs, &chunks, &errors, &next, &abort, &fn, n] {
+  // Optional worker-occupancy diagnostics (see occupancy_spans_enabled).
+  const bool spans_on = occupancy_spans_enabled() && trace::enabled();
+  std::vector<std::vector<trace::SpanEvent>> worker_spans(width);
+  const auto origin = std::chrono::steady_clock::now();  // imc-analyze: allow(wall-clock)
+
+  auto work = [&logs, &chunks, &errors, &next, &abort, &fn, n, spans_on,
+               &worker_spans, origin](std::size_t w) {
+    // One reusable world per worker: auditor ledgers, arena chunks, and
+    // capture buffers are recruited once and rebound per job.
+    WorldContext world;
+    std::vector<trace::SpanEvent>& spans = worker_spans[w];
+    double idle_since = spans_on ? seconds_since(origin) : 0.0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       if (abort.load(std::memory_order_acquire)) return;
-      audit::Auditor auditor;
-      audit::ScopedAuditor audit_scope(auditor);
-      ScopedLogBuffer log_buffer;
-      trace::ScopedTraceBuffer trace_buffer;
+      if (spans_on) {
+        const double now = seconds_since(origin);
+        if (now > idle_since) {
+          spans.push_back(trace::SpanEvent{
+              "sweep.idle", trace::Track{-1, static_cast<int>(w) + 1},
+              idle_since, now, {}});
+        }
+        idle_since = now;
+      }
       try {
-        fn(i);
+        world.run([&fn, i] { fn(i); });
       } catch (...) {
         errors[i] = std::current_exception();
         abort.store(true, std::memory_order_release);
       }
-      logs[i] = log_buffer.take();
-      chunks[i] = trace_buffer.take();
+      logs[i] = world.take_logs();
+      chunks[i] = world.take_chunks();
+      if (spans_on) {
+        const double now = seconds_since(origin);
+        spans.push_back(trace::SpanEvent{
+            "sweep.job", trace::Track{-1, static_cast<int>(w) + 1},
+            idle_since, now,
+            {{"job", static_cast<double>(i)}}});
+        idle_since = now;
+      }
     }
   };
 
   std::vector<std::thread> workers;
   workers.reserve(width);
-  for (std::size_t w = 0; w < width; ++w) workers.emplace_back(work);
+  for (std::size_t w = 0; w < width; ++w) workers.emplace_back(work, w);
   // Joining here (success or failure) is what "drains cleanly" means: by
   // the time control returns to the submitter no worker is running and
   // every started job has either a result slot or an exception recorded.
   for (auto& worker : workers) worker.join();
+
+  if (spans_on) {
+    trace::RunChunk occupancy;
+    occupancy.label = "sweep-pool";
+    for (std::vector<trace::SpanEvent>& spans : worker_spans) {
+      for (trace::SpanEvent& span : spans) {
+        occupancy.spans.push_back(std::move(span));
+      }
+    }
+    if (!occupancy.spans.empty()) {
+      trace::global_sink()->add_meta(std::move(occupancy));
+    }
+  }
 
   // Flush per-job captures in submission order so log bytes and trace
   // chunks land identically at every worker count.

@@ -32,12 +32,52 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/audit.h"
+#include "common/log.h"
+#include "trace/trace.h"
+
 namespace imc::sweep {
 
 // Worker count used when a Pool is constructed without an explicit value:
 // IMC_THREADS from the environment (accepted range [1, 512]; garbage
 // terminates with a clear error), defaulting to hardware_concurrency.
 int default_threads();
+
+// Reusable per-world execution context. Owns the expensive per-world state
+// — the audit ledger's maps and the frame arena's chunks — and rebinds it
+// around each job instead of reconstructing it, so running a thousand
+// scenario jobs on a worker allocates world infrastructure once. Both pool
+// paths (sequential and threaded) run every job through one of these; a
+// reused context is observably identical to a fresh one because run()
+// resets the ledger and rewinds the arena before the job starts, and
+// nothing downstream may depend on frame addresses (DESIGN.md §13).
+class WorldContext {
+ public:
+  WorldContext() = default;
+  WorldContext(const WorldContext&) = delete;
+  WorldContext& operator=(const WorldContext&) = delete;
+
+  // Runs `job` under this context's thread-local bindings (auditor, arena,
+  // log capture, trace-chunk capture; innermost-wins, LIFO nesting).
+  // Captured logs and trace chunks are retained — also when the job throws
+  // — until taken; take them before the next run() or they are replaced.
+  void run(const std::function<void()>& job);
+
+  // Captured output of the last run() (move-out, destructive).
+  LogText take_logs() { return std::move(logs_); }
+  std::vector<trace::RunChunk> take_chunks() { return std::move(chunks_); }
+
+  // World-state introspection (tests assert reset/reuse invariants).
+  const arena::Arena& arena() const { return arena_; }
+  const audit::Auditor& auditor() const { return auditor_; }
+
+ private:
+  audit::Auditor auditor_;
+  arena::Arena arena_;
+  LogText logs_;
+  std::vector<trace::RunChunk> chunks_;
+};
 
 class Pool {
  public:

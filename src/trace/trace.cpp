@@ -270,6 +270,16 @@ void Sink::add(RunChunk chunk) {
   chunks_.push_back(std::move(chunk));
 }
 
+void Sink::add_meta(RunChunk chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_.push_back(std::move(chunk));
+}
+
+std::size_t Sink::meta_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return meta_.size();
+}
+
 std::uint64_t Sink::digest() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t digest = fnv1a("imc-trace-v1");
@@ -364,6 +374,55 @@ std::string Sink::to_json() const {
       line += "\",\"args\":{\"value\":";
       line += format_number(event.value);
       line += "}}";
+      emit(line);
+    }
+  }
+
+  // Meta chunks (diagnostic wall-clock data, e.g. sweep-pool worker
+  // occupancy): rendered into the timeline after every run's pid window but
+  // deliberately absent from the "imc" block and the digest chain — their
+  // content is not covered by any determinism contract.
+  for (std::size_t m = 0; m < meta_.size(); ++m) {
+    const RunChunk& chunk = meta_[m];
+    const std::size_t slot = chunks_.size() + m;
+    std::set<int> tids;
+    for (const SpanEvent& event : chunk.spans) tids.insert(event.track.tid);
+    {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":%lld,\"tid\":0,\"name\":"
+                    "\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                    export_pid(slot, -1), json_escape(chunk.label).c_str());
+      emit(buf);
+    }
+    for (const int tid : tids) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":%lld,\"tid\":%d,\"name\":"
+                    "\"thread_name\",\"args\":{\"name\":\"worker %d\"}}",
+                    export_pid(slot, -1), tid, tid);
+      emit(buf);
+    }
+    for (const SpanEvent& event : chunk.spans) {
+      const long long ts = to_micros(event.start);
+      const long long dur = to_micros(event.end) - ts;
+      std::string line = "{\"ph\":\"X\",\"pid\":";
+      line += std::to_string(export_pid(slot, -1));
+      line += ",\"tid\":";
+      line += std::to_string(event.track.tid);
+      line += ",\"ts\":";
+      line += std::to_string(ts);
+      line += ",\"dur\":";
+      line += std::to_string(dur);
+      line += ",\"name\":\"";
+      line += json_escape(event.name);
+      line += "\",\"cat\":\"";
+      const std::size_t dot = event.name.find('.');
+      line += json_escape(dot == std::string::npos ? event.name
+                                                   : event.name.substr(0, dot));
+      line += "\",\"args\":";
+      append_args_json(&line, event.args);
+      line += "}";
       emit(line);
     }
   }

@@ -256,8 +256,15 @@ inline void value(const char* name, double v) {
 class Sink {
  public:
   void add(RunChunk chunk);
+  // Diagnostic chunks outside the determinism contract: rendered into the
+  // exported timeline (own pid namespace, after every run) but excluded
+  // from digest() and the "imc" metadata block. sweep::Pool uses this for
+  // its wall-clock worker-occupancy spans (IMC_TRACE_SWEEP=1), which by
+  // nature differ across thread counts and runs.
+  void add_meta(RunChunk chunk);
   std::uint64_t digest() const;
   std::size_t size() const;
+  std::size_t meta_size() const;
   std::string to_json() const;
   // Writes to_json() to `path`; returns false (with a log warning) on I/O
   // failure.
@@ -266,6 +273,7 @@ class Sink {
  private:
   mutable std::mutex mu_;
   std::vector<RunChunk> chunks_;
+  std::vector<RunChunk> meta_;
 };
 
 // The installed sink, or nullptr when tracing is off. First call parses

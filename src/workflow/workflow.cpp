@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/arena.h"
 #include "common/audit.h"
 #include "common/rng.h"
 #include "fault/fault.h"
@@ -753,6 +754,17 @@ RunResult run(const Spec& spec) {
   // after full teardown below is a leak (RunResult::leaks).
   audit::Auditor auditor;
   audit::ScopedAuditor audit_scope(auditor);
+  // Coroutine frames for this world come from an arena: the enclosing
+  // sweep worker's reusable one (sweep::WorldContext) when bound, else a
+  // run-local arena. Declared before Ctx so it outlives the engine and
+  // every frame freed during teardown; the recursive MPI-IO fallback
+  // replay reuses the outer binding.
+  std::optional<arena::Arena> local_arena;
+  std::optional<arena::ScopedArena> arena_scope;
+  if (arena::current() == nullptr) {
+    local_arena.emplace();
+    arena_scope.emplace(*local_arena);
+  }
   RunResult result;
   Ctx ctx(spec);
   // Fault injection binds per world like the auditor and tracer: only when

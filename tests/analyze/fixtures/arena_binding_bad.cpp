@@ -1,0 +1,29 @@
+// must-flag: scoped-binding — the per-world arena guard misused the same
+// three ways the auditor guard can be: a temporary that unbinds within the
+// expression, a heap-allocated guard decoupled from its scope, and a guard
+// constructed after arena::current() already read the previous binding.
+namespace arena {
+struct Arena {};
+Arena* current();
+}  // namespace arena
+
+struct ScopedArena {
+  explicit ScopedArena(arena::Arena& arena);
+  ~ScopedArena();
+  ScopedArena(const ScopedArena&) = delete;
+};
+
+void temporary_guard(arena::Arena& world) {
+  ScopedArena(world);              // FLAG: unbinds at end of expression
+  arena::current();                // ...so frames land in the old arena
+}
+
+void heap_guard(arena::Arena& world) {
+  auto* bind = new ScopedArena(world);  // FLAG: scope-decoupled guard
+  (void)bind;
+}
+
+void bound_too_late(arena::Arena& world) {
+  arena::current();                // reads the previous world's arena
+  ScopedArena bind(world);         // FLAG: constructed after first use
+}

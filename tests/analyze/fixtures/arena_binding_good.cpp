@@ -1,0 +1,22 @@
+// must-pass: scoped-binding — a named stack ScopedArena constructed before
+// any arena::current() use, plus accessor-only code (the unbound fallback
+// to the global heap is legal: tools and tests never need an arena).
+namespace arena {
+struct Arena {};
+Arena* current();
+}  // namespace arena
+
+struct ScopedArena {
+  explicit ScopedArena(arena::Arena& arena);
+  ~ScopedArena();
+  ScopedArena(const ScopedArena&) = delete;
+};
+
+void run_world(arena::Arena& world) {
+  ScopedArena bind(world);     // named, first thing in the scope
+  arena::current();            // reads the fresh binding
+}
+
+void heap_fallback_only() {
+  arena::current();            // no guard in scope: global-heap fallback
+}

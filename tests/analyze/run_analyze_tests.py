@@ -28,19 +28,26 @@ REPO = os.path.dirname(os.path.dirname(TESTS_DIR))
 FIXTURES = os.path.join(TESTS_DIR, "fixtures")
 ANALYZE = [sys.executable, os.path.join(REPO, "scripts", "imc-analyze")]
 
-# rule id -> (fixture stem, minimum findings expected in the bad snippet)
+# rule id -> list of (fixture stem, minimum findings expected in the bad
+# snippet); rules with several guard families carry one pair per family.
 CORPUS = {
-    "unordered-iteration": ("unordered_iteration", 2),
-    "wall-clock": ("wall_clock", 4),
-    "global-rng": ("global_rng", 4),
-    "scoped-binding": ("scoped_binding", 3),
-    "adhoc-retry": ("adhoc_retry", 1),
-    "env-without-or-die": ("env_without_or_die", 2),
-    "raw-exit-in-library": ("raw_exit_in_library", 2),
-    "co-await-under-lock": ("co_await_under_lock", 2),
-    "detached-coroutine-lifetime": ("detached_coroutine_lifetime", 2),
-    "discarded-result": ("discarded_result", 2),
+    "unordered-iteration": [("unordered_iteration", 2)],
+    "wall-clock": [("wall_clock", 4)],
+    "global-rng": [("global_rng", 4)],
+    "scoped-binding": [("scoped_binding", 3), ("arena_binding", 3)],
+    "adhoc-retry": [("adhoc_retry", 1)],
+    "env-without-or-die": [("env_without_or_die", 2)],
+    "raw-exit-in-library": [("raw_exit_in_library", 2)],
+    "co-await-under-lock": [("co_await_under_lock", 2)],
+    "detached-coroutine-lifetime": [("detached_coroutine_lifetime", 2)],
+    "discarded-result": [("discarded_result", 2)],
 }
+
+
+def corpus_pairs():
+    for rule, entries in CORPUS.items():
+        for stem, expected in entries:
+            yield rule, stem, expected
 
 
 def run(args, cwd=None):
@@ -78,8 +85,8 @@ class AnalyzeFixtureTests(unittest.TestCase):
         return dst
 
     def test_each_rule_flags_its_bad_fixture(self):
-        for rule, (stem, expected) in CORPUS.items():
-            with self.subTest(rule=rule):
+        for rule, stem, expected in corpus_pairs():
+            with self.subTest(rule=rule, stem=stem):
                 path = self.stage(f"{stem}_bad.cpp")
                 proc = run([path])
                 self.assertEqual(proc.returncode, 1,
@@ -92,8 +99,8 @@ class AnalyzeFixtureTests(unittest.TestCase):
                     f"{counts}\n{proc.stdout}")
 
     def test_each_rule_passes_its_good_fixture(self):
-        for rule, (stem, _) in CORPUS.items():
-            with self.subTest(rule=rule):
+        for rule, stem, _ in corpus_pairs():
+            with self.subTest(rule=rule, stem=stem):
                 path = self.stage(f"{stem}_good.cpp")
                 proc = run([path])
                 self.assertEqual(
@@ -103,8 +110,8 @@ class AnalyzeFixtureTests(unittest.TestCase):
     def test_disabling_a_rule_silences_its_findings(self):
         # The inverse of the must-flag test: if a rule were disabled (or
         # silently broken), the must-flag assertion above is what fails.
-        for rule, (stem, _) in CORPUS.items():
-            with self.subTest(rule=rule):
+        for rule, stem, _ in corpus_pairs():
+            with self.subTest(rule=rule, stem=stem):
                 path = self.stage(f"{stem}_bad.cpp")
                 proc = run([path, "--disable", rule])
                 counts = rule_counts(proc.stdout)

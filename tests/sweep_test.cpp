@@ -137,7 +137,69 @@ TEST(SweepPool, LogOutputIsCapturedPerJob) {
   sweep::Pool(2).run_indexed(4, [](std::size_t i) {
     log_message(LogLevel::kWarn, "job " + std::to_string(i) + " speaking");
   });
-  EXPECT_EQ(outer.take(), "");
+  EXPECT_EQ(outer.take().str(), "");
+}
+
+// ---------------------------------------------------------------------------
+// WorldContext reuse: the pool's per-worker context must make a reused
+// world observably identical to a fresh one (DESIGN.md §13).
+
+TEST(WorldContext, RunResetsLedgerAndLogCaptureBetweenJobs) {
+  sweep::WorldContext world;
+  world.run([] {
+    audit::global().acquire(audit::Resource::kSockets, "leaky-job", 1);
+    log_message(LogLevel::kWarn, "first job speaking");
+  });
+  EXPECT_FALSE(world.auditor().clean());
+  EXPECT_NE(world.take_logs().str().find("first job speaking"),
+            std::string::npos);
+
+  // The next job starts from a clean ledger and an empty capture buffer —
+  // nothing from the leaky job bleeds through.
+  world.run([] { EXPECT_TRUE(audit::global().leaks().empty()); });
+  EXPECT_TRUE(world.auditor().clean());
+  EXPECT_TRUE(world.take_logs().empty());
+}
+
+TEST(WorldContext, CapturesAreRetainedWhenTheJobThrows) {
+  sweep::WorldContext world;
+  try {
+    world.run([] {
+      log_message(LogLevel::kWarn, "about to explode");
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "expected the job exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_NE(world.take_logs().str().find("about to explode"),
+            std::string::npos);
+}
+
+TEST(WorldContext, ArenaIsReusedAcrossWorkflowJobs) {
+  // Coroutine frames of a workflow run allocate from the context's arena;
+  // after the first job warmed the pool, later identical jobs are served
+  // from free-list hits and the chunk footprint stops growing.
+  Spec spec;
+  spec.app = workflow::AppSel::kSynthetic;
+  spec.method = workflow::MethodSel::kDataspacesNative;
+  spec.machine = hpc::titan();
+  spec.nsim = 4;
+  spec.nana = 2;
+  spec.steps = 1;
+  spec.synthetic_elements_per_proc = 1'000;
+
+  sweep::WorldContext world;
+  world.run([&spec] { workflow::run(spec); });
+  EXPECT_GT(world.arena().allocations(), 0u);
+  EXPECT_EQ(world.arena().outstanding(), 0u);
+  const std::size_t warm_reserved = world.arena().reserved_bytes();
+  const auto warm_hits = world.arena().pool_hits();
+
+  world.run([&spec] { workflow::run(spec); });
+  EXPECT_EQ(world.arena().outstanding(), 0u);
+  EXPECT_GT(world.arena().pool_hits(), warm_hits);
+  EXPECT_EQ(world.arena().reserved_bytes(), warm_reserved);
 }
 
 // ---------------------------------------------------------------------------
@@ -189,6 +251,58 @@ TEST(SweepDeterminism, LadderIsIdenticalAtThreads128) {
       EXPECT_EQ(got[i].server_peak, base[i].server_peak)
           << threads << " " << i;
       EXPECT_EQ(got[i].leaks, base[i].leaks) << threads << " " << i;
+    }
+  }
+}
+
+TEST(SweepDeterminism, ReusedWorldsMatchFreshRunsUnderEverySchedule) {
+  // The decisive reset-reuse check: run a ladder directly (fresh world per
+  // workflow::run, no pool) and compare against pooled runs at widths
+  // 1/2/8, where each worker funnels several jobs through one reused
+  // WorldContext — under every tie-break policy. Digests, event counts,
+  // and leak audits must be invariant.
+  const sim::Schedule schedules[] = {
+      {sim::TieBreak::kFifo, 0},
+      {sim::TieBreak::kLifo, 0},
+      {sim::TieBreak::kSeededShuffle, 0x5eed5eed},
+  };
+  for (const auto& schedule : schedules) {
+    std::vector<Spec> specs;
+    for (auto method : {workflow::MethodSel::kDataspacesNative,
+                        workflow::MethodSel::kDimesNative,
+                        workflow::MethodSel::kFlexpath}) {
+      Spec spec;
+      spec.app = workflow::AppSel::kSynthetic;
+      spec.method = method;
+      spec.machine = hpc::titan();
+      spec.nsim = 4;
+      spec.nana = 2;
+      spec.steps = 1;
+      spec.synthetic_elements_per_proc = 2'000;
+      spec.schedule = schedule;
+      // Three copies of each method so every pooled worker reuses its
+      // context at least once even at width 8 (9 jobs total).
+      for (int copy = 0; copy < 3; ++copy) specs.push_back(spec);
+    }
+
+    std::vector<RunResult> fresh;
+    for (const auto& spec : specs) fresh.push_back(workflow::run(spec));
+
+    for (int threads : {1, 2, 8}) {
+      std::vector<std::function<RunResult()>> jobs;
+      for (const auto& spec : specs) {
+        jobs.emplace_back([&spec] { return workflow::run(spec); });
+      }
+      const auto reused = sweep::Pool(threads).run_ordered(std::move(jobs));
+      ASSERT_EQ(reused.size(), fresh.size());
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(reused[i].run_digest, fresh[i].run_digest)
+            << "tie_break=" << static_cast<int>(schedule.tie_break)
+            << " threads=" << threads << " job=" << i;
+        EXPECT_EQ(reused[i].events_processed, fresh[i].events_processed)
+            << threads << " " << i;
+        EXPECT_EQ(reused[i].leaks, fresh[i].leaks) << threads << " " << i;
+      }
     }
   }
 }

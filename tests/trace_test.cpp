@@ -171,6 +171,31 @@ TEST(TraceRouting, SinkReceivesChunksWhenNoBufferIsBound) {
   EXPECT_NE(sink.to_json().find("\"direct\""), std::string::npos);
 }
 
+TEST(TraceRouting, MetaChunksRenderButStayOutsideTheDigest) {
+  // Meta chunks (the sweep pool's wall-clock occupancy spans) appear in the
+  // exported timeline but must not perturb the digest chain or the "imc"
+  // summary block — those stay functions of simulated-world data only.
+  trace::Sink sink;
+  sink.add(labeled_chunk("world"));
+  const std::uint64_t digest_before = sink.digest();
+  const std::string json_before = sink.to_json();
+
+  trace::RunChunk occupancy;
+  occupancy.label = "sweep-pool";
+  occupancy.spans.push_back(
+      trace::SpanEvent{"sweep.job", trace::Track{-1, 1}, 0.0, 0.5,
+                       {{"job", 3.0}}});
+  sink.add_meta(std::move(occupancy));
+
+  EXPECT_EQ(sink.meta_size(), 1u);
+  EXPECT_EQ(sink.size(), 1u);                 // meta is not a run chunk
+  EXPECT_EQ(sink.digest(), digest_before);    // digest chain untouched
+  const std::string json_after = sink.to_json();
+  EXPECT_NE(json_after, json_before);
+  EXPECT_NE(json_after.find("\"sweep-pool\""), std::string::npos);
+  EXPECT_NE(json_after.find("\"sweep.job\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism contract 1: same scenario, different same-instant tie-break
 // schedules. With all events at distinct instants the recorded stream is a
