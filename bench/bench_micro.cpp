@@ -12,6 +12,7 @@
 #include "net/fabric.h"
 #include "net/transport.h"
 #include "common/log.h"
+#include "prof/prof.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sweep/sweep.h"
@@ -229,6 +230,35 @@ void BM_TraceSpanEnabled(benchmark::State& state) {
 BENCHMARK(BM_TraceSpanEnabled);
 #endif
 
+// Profiling overhead pair, mirroring the tracing pair above: PROF_TIMER
+// with no meter bound is the fast path every run pays when IMC_PROF is
+// compiled in but no collector is installed — one thread-local null check,
+// no clock read. The Profiled kernel variants further down repeat the hot
+// kernels with a disabled timer in the loop so scripts/bench.py can assert
+// the off-by-default overhead stays under its budget on real work.
+void BM_ProfTimerDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    PROF_TIMER("bench.noop");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfTimerDisabled);
+
+#if IMC_PROF_ENABLED
+void BM_ProfTimerEnabled(benchmark::State& state) {
+  prof::Meter meter("bench");
+  prof::ScopedProf bind(meter);
+  for (auto _ : state) {
+    PROF_TIMER("bench.noop");
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(meter.stats().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfTimerEnabled);
+#endif
+
 void BM_BoxQueryIndexTraced(benchmark::State& state) {
   const auto boxes = nda::decompose_grid(kQueryGlobal, {16, 16, 16});
   const nda::BoxIndex index = nda::BoxIndex::build(boxes);
@@ -256,6 +286,38 @@ void BM_SlabCopyStridedTraced(benchmark::State& state) {
                           static_cast<std::int64_t>(src_box.volume() * 8));
 }
 BENCHMARK(BM_SlabCopyStridedTraced)->Arg(64);
+
+// Disabled-profiling kernel variants: same hot kernels with an unbound
+// PROF_TIMER in the loop. bench.py compares these against the untimed
+// kernels (BM_BoxQueryIndex / BM_SlabFillSyntheticStrided) to keep the
+// compiled-in-but-off cost under its <2% budget.
+void BM_BoxQueryIndexProfiled(benchmark::State& state) {
+  const auto boxes = nda::decompose_grid(kQueryGlobal, {16, 16, 16});
+  const nda::BoxIndex index = nda::BoxIndex::build(boxes);
+  benchmark::DoNotOptimize(index.query(kQueryTarget).data());  // warm build
+  for (auto _ : state) {
+    PROF_TIMER("bench.box_query");
+    auto hits = index.query(kQueryTarget);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoxQueryIndexProfiled);
+
+void BM_SlabCopyStridedProfiled(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const nda::Box src_box({16, 16, 16}, {16 + n, 16 + n, 16 + n});
+  nda::Slab src = nda::Slab::zeros(src_box);
+  nda::Slab dst = nda::Slab::zeros(nda::Box({0, 0, 0}, {n + 32, n + 32, n + 32}));
+  for (auto _ : state) {
+    PROF_TIMER("bench.slab_copy");
+    dst.fill_from(src);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src_box.volume() * 8));
+}
+BENCHMARK(BM_SlabCopyStridedProfiled)->Arg(64);
 
 // Per-sweep dispatch overhead: the pool's cost of running trivial jobs —
 // worker recruitment, context rebinding, ordered log/chunk flush — with no

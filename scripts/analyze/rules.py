@@ -495,6 +495,8 @@ _SCOPED_FAMILIES = {
                        ("internal", "bound_recorder")),
     "ScopedFaultPlan": (("fault", "active"), ("", "active")),
     "ScopedArena": (("arena", "current"),),
+    "ScopedProf": (("prof", "meter"), ("", "bound_meter"),
+                   ("internal", "bound_meter")),
     "ScopedLogBuffer": (),
     "ScopedTraceBuffer": (),
 }
@@ -783,6 +785,14 @@ def _not_fault_layer(ctx):
     return not ctx.in_dir("fault")
 
 
+def _not_prof_layer(ctx):
+    # src/prof/ is the designated wall-clock exception: imc::prof measures
+    # the harness itself (pool waits, flush costs) and is strictly
+    # digest-excluded, so real-time reads there cannot reach any contract.
+    # Everywhere else the rule stands.
+    return not ctx.in_dir("prof")
+
+
 def _not_env_impl(ctx):
     return ctx.basename() not in ("env.cpp", "env.h")
 
@@ -801,8 +811,8 @@ RULES = {
         rule_unordered_iteration, _everywhere,
         "hash-order iteration feeding output/digests/scheduling"),
     "wall-clock": (
-        rule_wall_clock, _everywhere,
-        "real-time clocks in simulated code"),
+        rule_wall_clock, _not_prof_layer,
+        "real-time clocks in simulated code (src/prof/ is exempt)"),
     "global-rng": (
         rule_global_rng, _everywhere,
         "unseeded/global randomness"),

@@ -71,7 +71,7 @@ SWEEP_SCALING_THREADS = (2, 4, 8)
 
 MICRO_FILTER = ("BM_BoxQuery|BM_SlabCopy|BM_SlabFillSynthetic|"
                 "BM_EngineSameInstantChurn|BM_EngineEventThroughput|"
-                "BM_TraceSpan")
+                "BM_TraceSpan|BM_ProfTimer")
 
 # (derived key, numerator bench, denominator bench): speedup = num / den.
 SPEEDUPS = [
@@ -81,21 +81,25 @@ SPEEDUPS = [
      "BM_SlabFillSyntheticStrided/64"),
 ]
 
-# Tracing-disabled overhead guard: BM_TraceSpanDisabled times one unbound
-# TRACE_SPAN (a thread-local null check, single-digit ns, near-zero
-# variance); the guard asserts that cost stays under the budget relative to
-# each hot kernel — the ratio models a disabled span wrapped around every
-# kernel invocation. Differencing two separately-timed ~200 µs kernel runs
-# (the Traced micro variants, kept for eyeballing) cannot resolve 2% on a
+# Disabled-hook overhead guards: each probe bench times one unbound hook
+# (TRACE_SPAN with no recorder, PROF_TIMER with no meter — a thread-local
+# null check, single-digit ns, near-zero variance); the guard asserts that
+# cost stays under the budget relative to each hot kernel — the ratio
+# models a disabled hook wrapped around every kernel invocation.
+# Differencing two separately-timed ~200 µs kernel runs (the Traced /
+# Profiled micro variants, kept for eyeballing) cannot resolve 2% on a
 # shared machine whose run-to-run jitter exceeds 10%.
-TRACE_SPAN_BENCH = "BM_TraceSpanDisabled"
-TRACE_OVERHEAD_KERNELS = [
-    ("trace_off_overhead_box_query", "BM_BoxQueryIndex"),
-    ("trace_off_overhead_slab_copy", "BM_SlabCopyStrided/64"),
+OVERHEAD_KERNELS = [
+    ("box_query", "BM_BoxQueryIndex"),
+    ("slab_copy", "BM_SlabCopyStrided/64"),
 ]
-TRACE_OVERHEAD_LIMIT = 1.02
-TRACE_OVERHEAD_FILTER = ("BM_TraceSpanDisabled$|BM_BoxQueryIndex$|"
-                         "BM_SlabCopyStrided/64$")
+OVERHEAD_GUARDS = [
+    ("trace_off_overhead", "BM_TraceSpanDisabled"),
+    ("prof_off_overhead", "BM_ProfTimerDisabled"),
+]
+OVERHEAD_LIMIT = 1.02
+OVERHEAD_FILTER = ("BM_TraceSpanDisabled$|BM_ProfTimerDisabled$|"
+                   "BM_BoxQueryIndex$|BM_SlabCopyStrided/64$")
 
 # Scenarios re-run with IMC_TRACE on at each of these thread counts in full
 # mode; the exported metric digests must be byte-identical across the set.
@@ -134,6 +138,35 @@ def parse_recovery(stdout):
                     record[key] = value
         records.append(record)
     return records
+
+
+def host_info():
+    """Host descriptor recorded into every report (mirrors prof::host()).
+
+    Committed numbers are only interpretable against the machine that
+    produced them — the committed sweep_scaling table came from a 1-core
+    box, and without this block nobody could tell. imc-report.py keys its
+    per-host regression history on (cpu_model, cores).
+    """
+    cpu_model = "unknown"
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    cpu_model = line.partition(":")[2].strip()
+                    break
+    except OSError:
+        pass
+    try:
+        page_size = os.sysconf("SC_PAGE_SIZE")
+    except (ValueError, OSError, AttributeError):
+        page_size = 0
+    return {
+        "cores": os.cpu_count() or 0,
+        "cpu_model": cpu_model,
+        "page_size": page_size,
+        "platform": sys.platform,
+    }
 
 
 def run(cmd, **kwargs):
@@ -191,51 +224,56 @@ def derive(micro):
     churn = micro.get("BM_EngineSameInstantChurn/4096")
     if churn and "items_per_second" in churn:
         derived["same_instant_items_per_s"] = round(churn["items_per_second"])
-    if TRACE_SPAN_BENCH in micro:
-        span_ns = micro[TRACE_SPAN_BENCH]["real_time_ns"]
-        for key, kernel in TRACE_OVERHEAD_KERNELS:
+    for prefix, probe in OVERHEAD_GUARDS:
+        if probe not in micro:
+            continue
+        probe_ns = micro[probe]["real_time_ns"]
+        for suffix, kernel in OVERHEAD_KERNELS:
             if kernel in micro:
-                derived[key] = round(
-                    (micro[kernel]["real_time_ns"] + span_ns) /
+                derived[f"{prefix}_{suffix}"] = round(
+                    (micro[kernel]["real_time_ns"] + probe_ns) /
                     micro[kernel]["real_time_ns"], 3)
     return derived
 
 
-def check_trace_overhead(build_dir, micro, timeout, attempts=3):
-    """Asserts the tracing-disabled span overhead stays under the budget.
+def check_disabled_overhead(build_dir, micro, timeout, attempts=3):
+    """Asserts every disabled-hook overhead stays under the budget.
 
-    Ratio per kernel: (kernel + disabled span) / kernel, both taken from the
-    same micro pass so kernel jitter cancels. On a miss the three benches
-    are re-timed with a longer min_time and the per-bench minimum across
-    runs is kept (the minimum is the noise-free estimate). Returns the
-    final ratios, or None if the budget still fails.
+    Ratio per (probe, kernel): (kernel + disabled hook) / kernel, both
+    taken from the same micro pass so kernel jitter cancels. On a miss the
+    probe and kernel benches are re-timed with a longer min_time and the
+    per-bench minimum across runs is kept (the minimum is the noise-free
+    estimate). Returns the final ratios, or None if the budget still fails.
     """
-    names = [TRACE_SPAN_BENCH] + [k for _, k in TRACE_OVERHEAD_KERNELS]
+    names = ([probe for _, probe in OVERHEAD_GUARDS] +
+             [k for _, k in OVERHEAD_KERNELS])
     times = {name: micro[name]["real_time_ns"]
              for name in names if name in micro}
 
     def ratios():
-        if TRACE_SPAN_BENCH not in times:
-            return {}
-        return {key: (times[kernel] + times[TRACE_SPAN_BENCH]) /
-                times[kernel]
-                for key, kernel in TRACE_OVERHEAD_KERNELS
-                if kernel in times}
+        out = {}
+        for prefix, probe in OVERHEAD_GUARDS:
+            if probe not in times:
+                return {}
+            for suffix, kernel in OVERHEAD_KERNELS:
+                if kernel in times:
+                    out[f"{prefix}_{suffix}"] = \
+                        (times[kernel] + times[probe]) / times[kernel]
+        return out
 
     for attempt in range(attempts):
         current = ratios()
-        if current and all(r <= TRACE_OVERHEAD_LIMIT
-                           for r in current.values()):
+        if current and all(r <= OVERHEAD_LIMIT for r in current.values()):
             return current
-        print(f"  trace overhead above {TRACE_OVERHEAD_LIMIT}: "
+        print(f"  disabled-hook overhead above {OVERHEAD_LIMIT}: "
               f"{current} (retry {attempt + 1}/{attempts - 1})", flush=True)
         rerun = run_micro(build_dir, smoke=False, timeout=timeout,
-                          bench_filter=TRACE_OVERHEAD_FILTER, min_time=0.5)
+                          bench_filter=OVERHEAD_FILTER, min_time=0.5)
         for name, record in rerun.items():
             times[name] = min(times.get(name, record["real_time_ns"]),
                               record["real_time_ns"])
     current = ratios()
-    if current and all(r <= TRACE_OVERHEAD_LIMIT for r in current.values()):
+    if current and all(r <= OVERHEAD_LIMIT for r in current.values()):
         return current
     return None
 
@@ -375,11 +413,11 @@ def main():
         derived["sweep_scaling"] = scaling
         derived["sweep_speedup"] = scaling[str(sweep_threads)]
 
-        ratios = check_trace_overhead(args.build_dir, micro,
-                                      per_bench_timeout)
+        ratios = check_disabled_overhead(args.build_dir, micro,
+                                         per_bench_timeout)
         if ratios is None:
-            print(f"FAIL: tracing-disabled overhead exceeds "
-                  f"{TRACE_OVERHEAD_LIMIT} after retries", file=sys.stderr)
+            print(f"FAIL: disabled-hook overhead exceeds "
+                  f"{OVERHEAD_LIMIT} after retries", file=sys.stderr)
             return 1
         derived.update({k: round(v, 3) for k, v in ratios.items()})
 
@@ -395,6 +433,7 @@ def main():
         "schema": "imc-bench-perf-v1",
         "mode": "smoke" if args.smoke else "full",
         "build_type": "Release",
+        "host": host_info(),
         "sweep_threads": sweep_threads,
         "derived": derived,
         "micro": micro,

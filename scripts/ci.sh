@@ -97,31 +97,24 @@ EOF
 
 # Sweep perf gate: the pool must actually speed the smoke sweep up. The two
 # smoke runs above produced sequential (t1) and pooled (t2) wall clocks for
-# the same scenarios; their ratio is the measured speedup. Hard-fails below
-# the floor on multi-core hosts; degrades to a warning with
-# IMC_PERF_GATE_SOFT=1 or automatically when the host has a single core
-# (no parallel speedup is physically possible there).
-echo "==> sweep perf gate (smoke sweep_speedup >= 1.3 at IMC_THREADS=2)"
-if ! python3 - "$repo/build-bench-smoke/BENCH_smoke_t1.json" \
-              "$repo/build-bench-smoke/BENCH_smoke_t2.json" <<'EOF'
+# the same scenarios; their ratio is the measured speedup. The verdict is
+# history-aware (imc-report gate): it hard-fails only when the committed
+# BENCH_history.json proves a same-host/same-core-count run met the 1.3x
+# floor before — an unknown host, a single core, a host class that never
+# met the floor, or IMC_PERF_GATE_SOFT=1 all degrade to a warning.
+echo "==> sweep perf gate (history-aware, smoke sweep_speedup at IMC_THREADS=2)"
+speedup="$(python3 - "$repo/build-bench-smoke/BENCH_smoke_t1.json" \
+                     "$repo/build-bench-smoke/BENCH_smoke_t2.json" <<'EOF'
 import json, sys
 a, b = (json.load(open(p))["scenarios"] for p in sys.argv[1:3])
 seq = sum(r["wall_seconds"] for r in a.values())
 par = sum(r["wall_seconds"] for r in b.values())
-speedup = seq / par if par > 0 else 0.0
-print(f"smoke sweep_speedup at IMC_THREADS=2: {speedup:.2f} "
-      f"(sequential {seq:.2f}s, pooled {par:.2f}s)")
-sys.exit(0 if speedup >= 1.3 else 1)
+print(f"{seq / par if par > 0 else 0.0:.3f}")
 EOF
-then
-  if [ "${IMC_PERF_GATE_SOFT:-0}" = "1" ] || [ "$(nproc)" -lt 2 ]; then
-    echo "WARN: sweep_speedup below 1.3 at IMC_THREADS=2 — soft gate" \
-         "(IMC_PERF_GATE_SOFT=${IMC_PERF_GATE_SOFT:-0}, $(nproc) core(s))"
-  else
-    echo "FAIL: sweep_speedup below 1.3 at IMC_THREADS=2" >&2
-    exit 1
-  fi
-fi
+)"
+echo "smoke sweep_speedup at IMC_THREADS=2: $speedup"
+python3 "$repo/scripts/imc-report.py" gate --speedup "$speedup" --threads 2 \
+  --history "$repo/BENCH_history.json"
 
 # Trace smoke: a Fig. 2 run with IMC_TRACE must produce a Perfetto-loadable
 # export carrying spans from the fabric, memory, DataSpaces, and workflow
@@ -147,6 +140,55 @@ if [ "$d1" != "$d2" ]; then
 fi
 echo "trace digests identical at IMC_THREADS=1 and 2: $d1"
 rm -f "$smoke/fig2.trace.t1.json" "$smoke/fig2.trace.t2.json"
+
+# Prof digest-exclusion gate: IMC_PROF is observability, never input. A
+# Fig. 2 run with the profiler on must leave stdout byte-identical and the
+# trace digest chain unchanged, while the trace gains a digest-free "prof"
+# meta chunk and the standalone report materialises (check_trace.py proves
+# the chunk carries no digest field and that the chain recomputes from the
+# runs alone). The width-2/4/8 prof reports feed the imc-report artifact.
+echo "==> prof digest-exclusion gate (IMC_PROF on/off: stdout + trace digest)"
+IMC_THREADS=2 "$smoke/bench/bench_fig2_end_to_end" >"$smoke/fig2.plain.out"
+IMC_THREADS=2 IMC_TRACE_EVENTS=4096 IMC_TRACE="$smoke/fig2.trace.prof.json" \
+  IMC_PROF="$smoke/fig2.prof.w2.json" \
+  "$smoke/bench/bench_fig2_end_to_end" >"$smoke/fig2.prof.out"
+if ! cmp -s "$smoke/fig2.plain.out" "$smoke/fig2.prof.out"; then
+  echo "FAIL: fig2 stdout depends on IMC_PROF" >&2
+  diff "$smoke/fig2.plain.out" "$smoke/fig2.prof.out" >&2 || true
+  exit 1
+fi
+echo "fig2 stdout identical with IMC_PROF on and off"
+python3 "$repo/scripts/check_trace.py" "$smoke/fig2.trace.prof.json" \
+  --require-meta prof
+dp="$(python3 "$repo/scripts/check_trace.py" "$smoke/fig2.trace.prof.json" \
+  --print-digest)"
+if [ "$dp" != "$d1" ]; then
+  echo "FAIL: trace digest depends on IMC_PROF: $dp vs $d1" >&2
+  exit 1
+fi
+echo "trace digest unchanged with IMC_PROF on: $dp"
+if [ ! -s "$smoke/fig2.prof.w2.json" ]; then
+  echo "FAIL: IMC_PROF did not write a report" >&2
+  exit 1
+fi
+rm -f "$smoke/fig2.trace.prof.json" "$smoke/fig2.plain.out" \
+      "$smoke/fig2.prof.out"
+
+# Dashboard artifact: fig2 prof reports at sweep widths 2/4/8 merged with
+# the committed perf baseline and per-host history into imc-report.md
+# (uploaded by the workflow; also the local profiling entry point).
+echo "==> imc-report (markdown dashboard artifact)"
+for w in 4 8; do
+  IMC_THREADS=$w IMC_PROF="$smoke/fig2.prof.w$w.json" \
+    "$smoke/bench/bench_fig2_end_to_end" >/dev/null
+done
+python3 "$repo/scripts/imc-report.py" report \
+  --perf "$repo/BENCH_perf.json" \
+  --prof "fig2-w2=$smoke/fig2.prof.w2.json" \
+  --prof "fig2-w4=$smoke/fig2.prof.w4.json" \
+  --prof "fig2-w8=$smoke/fig2.prof.w8.json" \
+  --history "$repo/BENCH_history.json" \
+  --out "$build/imc-report.md"
 
 # Chaos smoke: the fault-injection sweep must be deterministic two ways.
 # Across IMC_THREADS the whole stdout (tables, recovery lines, digest) and

@@ -19,6 +19,13 @@ import sys
 
 EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
 
+# Default trees, kept in sync with imc-analyze's DEFAULT_TARGETS
+# (scripts/analyze/cli.py): both tools cover the same sources so a file
+# cannot be semantically gated but style-unchecked (or vice versa). Unlike
+# the analyzer, the style lint does NOT exclude tests/analyze/fixtures —
+# deliberately-bad semantics still follow whitespace rules.
+DEFAULT_TARGETS = ("src", "bench", "tests", "examples")
+
 
 def lint_file(path):
     with open(path, "rb") as f:
@@ -43,7 +50,7 @@ def lint_file(path):
 
 
 def main(argv):
-    targets = argv[1:] or ["src"]
+    targets = argv[1:] or [t for t in DEFAULT_TARGETS if os.path.isdir(t)]
     files = []
     for target in targets:
         if os.path.isfile(target):

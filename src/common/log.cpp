@@ -13,6 +13,12 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 // Innermost ScopedLogBuffer bound on this thread; null -> write to stderr.
 thread_local ScopedLogBuffer* t_buffer = nullptr;
 
+// Flush accounting for imc::prof (bytes/chunks that reached the real
+// sink). Relaxed: the totals are advisory resource counters, never
+// synchronization.
+std::atomic<std::uint64_t> g_flushed_bytes{0};
+std::atomic<std::uint64_t> g_flushed_chunks{0};
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -80,6 +86,8 @@ void log_message(LogLevel level, std::string_view msg) {
   }
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(msg.size()), msg.data());
+  g_flushed_bytes.fetch_add(msg.size() + 1, std::memory_order_relaxed);
+  g_flushed_chunks.fetch_add(1, std::memory_order_relaxed);
 }
 
 ScopedLogBuffer::ScopedLogBuffer() : previous_(t_buffer) { t_buffer = this; }
@@ -106,12 +114,25 @@ void write_log_output(const LogText& text) {
     std::fwrite(chunk.data(), 1, chunk.size(), stderr);
   }
   std::fflush(stderr);
+  g_flushed_bytes.fetch_add(text.size(), std::memory_order_relaxed);
+  g_flushed_chunks.fetch_add(text.chunks().size(),
+                             std::memory_order_relaxed);
 }
 
 void write_log_output(std::string_view text) {
   if (text.empty()) return;
   std::fwrite(text.data(), 1, text.size(), stderr);
   std::fflush(stderr);
+  g_flushed_bytes.fetch_add(text.size(), std::memory_order_relaxed);
+  g_flushed_chunks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t log_flushed_bytes() {
+  return g_flushed_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t log_flushed_chunks() {
+  return g_flushed_chunks.load(std::memory_order_relaxed);
 }
 
 }  // namespace imc

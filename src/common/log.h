@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -105,6 +106,14 @@ class ScopedLogBuffer {
 // so the sweep pool can flush per-job buffers in submission order.
 void write_log_output(const LogText& text);
 void write_log_output(std::string_view text);
+
+// Process-wide totals of log bytes/chunks written through the real sink
+// (both write_log_output overloads plus unbuffered log_message lines).
+// Monotonic, thread-safe, and never part of any digest: they feed the
+// imc::prof resource-accounting report, which asks "how much wall-clock
+// work did log flushing do", not "what did the simulation log".
+std::uint64_t log_flushed_bytes();
+std::uint64_t log_flushed_chunks();
 
 namespace detail {
 

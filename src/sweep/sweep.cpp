@@ -3,10 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/env.h"
+#include "prof/prof.h"
 
 namespace imc::sweep {
 namespace {
@@ -30,6 +32,38 @@ double seconds_since(
       .count();
 }
 
+// Resource accounting for one finished job, attributed to the worker's
+// prof lane. Arena counters are cumulative across a reused context, so the
+// caller snapshots them before the job and the deltas land here; log/trace
+// figures come straight from the retained captures. Wall-clock-free, but
+// still prof-only: nothing recorded here may reach a digest (DESIGN.md
+// §14), which is exactly what the prof meta channel guarantees.
+void note_world_stats(prof::Meter& m, const arena::Arena& arena,
+                      std::uint64_t allocations0, std::uint64_t pool_hits0,
+                      std::uint64_t heap_fallbacks0, const LogText& logs,
+                      const std::vector<trace::RunChunk>& chunks) {
+  m.sample("arena.reserved_bytes",
+           static_cast<double>(arena.reserved_bytes()));
+  m.sample("arena.outstanding", static_cast<double>(arena.outstanding()));
+  m.count("arena.allocations",
+          static_cast<double>(arena.allocations() - allocations0));
+  m.count("arena.pool_hits",
+          static_cast<double>(arena.pool_hits() - pool_hits0));
+  m.count("arena.heap_fallbacks",
+          static_cast<double>(arena.heap_fallbacks() - heap_fallbacks0));
+  m.count("log.captured_bytes", static_cast<double>(logs.size()));
+  m.count("log.captured_chunks", static_cast<double>(logs.chunks().size()));
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  for (const trace::RunChunk& chunk : chunks) {
+    events += chunk.spans.size() + chunk.counters.size();
+    dropped += chunk.dropped_events;
+  }
+  m.count("trace.chunks", static_cast<double>(chunks.size()));
+  m.count("trace.events_recorded", static_cast<double>(events));
+  m.count("trace.events_dropped", static_cast<double>(dropped));
+}
+
 }  // namespace
 
 void WorldContext::run(const std::function<void()>& job) {
@@ -38,6 +72,13 @@ void WorldContext::run(const std::function<void()>& job) {
   // its storage valid and merely forgoes the rewind).
   auditor_.reset();
   arena_.reset();
+  // Per-job resource accounting needs before-values of the cumulative
+  // arena counters; prof::meter() is a constexpr nullptr when the IMC_PROF
+  // compile option is off, so all of this folds away.
+  prof::Meter* const meter = prof::meter();
+  const std::uint64_t allocations0 = meter ? arena_.allocations() : 0;
+  const std::uint64_t pool_hits0 = meter ? arena_.pool_hits() : 0;
+  const std::uint64_t heap_fallbacks0 = meter ? arena_.heap_fallbacks() : 0;
   audit::ScopedAuditor audit_scope(auditor_);
   arena::ScopedArena arena_scope(arena_);
   ScopedLogBuffer log_buffer;
@@ -47,10 +88,18 @@ void WorldContext::run(const std::function<void()>& job) {
   } catch (...) {
     logs_ = log_buffer.take();
     chunks_ = trace_buffer.take();
+    if (meter != nullptr) {
+      note_world_stats(*meter, arena_, allocations0, pool_hits0,
+                       heap_fallbacks0, logs_, chunks_);
+    }
     throw;
   }
   logs_ = log_buffer.take();
   chunks_ = trace_buffer.take();
+  if (meter != nullptr) {
+    note_world_stats(*meter, arena_, allocations0, pool_hits0,
+                     heap_fallbacks0, logs_, chunks_);
+  }
 }
 
 int default_threads() {
@@ -70,26 +119,50 @@ void Pool::run_indexed(std::size_t n,
   if (n == 0) return;
   const std::size_t width = std::min(static_cast<std::size_t>(threads_), n);
 
+  // Wall-clock profiling lanes (imc::prof): only recruited when a
+  // collector is installed (IMC_PROF=<path> or a test collector), so the
+  // default cost of all the hooks below is a thread-local null check.
+  const bool prof_on = prof::enabled();
+
   if (width <= 1) {
     // Sequential path: jobs run inline in submission order on one reused
     // context; each job's log flushes as soon as it finishes, trace chunks
     // emit in order, exceptions propagate immediately (after flushing).
     WorldContext world;
+    prof::Meter meter("sequential");
+    std::optional<prof::ScopedProf> prof_scope;
+    const double lane_start = prof_on ? prof::wall_seconds() : 0.0;
+    if (prof_on) prof_scope.emplace(meter);
+    auto fold_lane = [&meter, prof_on, lane_start] {
+      if (!prof_on) return;
+      meter.timing("worker.span", prof::wall_seconds() - lane_start);
+      prof::global_collector()->fold(meter);
+    };
     for (std::size_t i = 0; i < n; ++i) {
+      prof::Timer run_timer = prof::timer("job.run");
       try {
         world.run([&fn, i] { fn(i); });
       } catch (...) {
+        run_timer.stop();
+        prof::Timer flush_timer = prof::timer("job.flush");
         write_log_output(world.take_logs());
         for (trace::RunChunk& chunk : world.take_chunks()) {
           trace::emit_chunk(std::move(chunk));
         }
+        flush_timer.stop();
+        fold_lane();
         throw;
       }
+      run_timer.stop();
+      prof::count("jobs");
+      prof::Timer flush_timer = prof::timer("job.flush");
       write_log_output(world.take_logs());
       for (trace::RunChunk& chunk : world.take_chunks()) {
         trace::emit_chunk(std::move(chunk));
       }
+      flush_timer.stop();
     }
+    fold_lane();
     return;
   }
 
@@ -104,17 +177,44 @@ void Pool::run_indexed(std::size_t n,
   std::vector<std::vector<trace::SpanEvent>> worker_spans(width);
   const auto origin = std::chrono::steady_clock::now();  // imc-analyze: allow(wall-clock)
 
+  // The caller's own lane: dispatch cost, join wait (which is the whole
+  // sweep's wall time from this thread's perspective), and the ordered
+  // result-flush cost — the part the 0.58× scaling investigation needs to
+  // separate from worker idle time. Meters live out here so they survive
+  // the workers and fold after the join.
+  prof::Meter caller_meter("caller");
+  std::optional<prof::ScopedProf> caller_scope;
+  std::vector<std::unique_ptr<prof::Meter>> worker_meters;
+  if (prof_on) {
+    caller_scope.emplace(caller_meter);
+    caller_meter.sample("pool.width", static_cast<double>(width));
+    worker_meters.reserve(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      worker_meters.push_back(
+          std::make_unique<prof::Meter>("worker" + std::to_string(w)));
+    }
+  }
+
   auto work = [&logs, &chunks, &errors, &next, &abort, &fn, n, spans_on,
-               &worker_spans, origin](std::size_t w) {
+               &worker_spans, origin, prof_on,
+               &worker_meters](std::size_t w) {
     // One reusable world per worker: auditor ledgers, arena chunks, and
     // capture buffers are recruited once and rebound per job.
     WorldContext world;
     std::vector<trace::SpanEvent>& spans = worker_spans[w];
     double idle_since = spans_on ? seconds_since(origin) : 0.0;
+    std::optional<prof::ScopedProf> prof_scope;
+    double lane_start = 0.0;
+    double idle_mark = 0.0;
+    if (prof_on) {
+      prof_scope.emplace(*worker_meters[w]);
+      lane_start = prof::wall_seconds();
+      idle_mark = lane_start;
+    }
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      if (abort.load(std::memory_order_acquire)) return;
+      if (i >= n) break;
+      if (abort.load(std::memory_order_acquire)) break;
       if (spans_on) {
         const double now = seconds_since(origin);
         if (now > idle_since) {
@@ -124,14 +224,21 @@ void Pool::run_indexed(std::size_t n,
         }
         idle_since = now;
       }
+      if (prof_on) {
+        worker_meters[w]->timing("idle", prof::wall_seconds() - idle_mark);
+      }
+      prof::Timer run_timer = prof::timer("job.run");
       try {
         world.run([&fn, i] { fn(i); });
       } catch (...) {
         errors[i] = std::current_exception();
         abort.store(true, std::memory_order_release);
       }
+      run_timer.stop();
+      prof::count("jobs");
       logs[i] = world.take_logs();
       chunks[i] = world.take_chunks();
+      if (prof_on) idle_mark = prof::wall_seconds();
       if (spans_on) {
         const double now = seconds_since(origin);
         spans.push_back(trace::SpanEvent{
@@ -141,15 +248,23 @@ void Pool::run_indexed(std::size_t n,
         idle_since = now;
       }
     }
+    if (prof_on) {
+      worker_meters[w]->timing("worker.span",
+                               prof::wall_seconds() - lane_start);
+    }
   };
 
   std::vector<std::thread> workers;
   workers.reserve(width);
+  prof::Timer dispatch_timer = prof::timer("pool.dispatch");
   for (std::size_t w = 0; w < width; ++w) workers.emplace_back(work, w);
+  dispatch_timer.stop();
   // Joining here (success or failure) is what "drains cleanly" means: by
   // the time control returns to the submitter no worker is running and
   // every started job has either a result slot or an exception recorded.
+  prof::Timer join_timer = prof::timer("pool.join");
   for (auto& worker : workers) worker.join();
+  join_timer.stop();
 
   if (spans_on) {
     trace::RunChunk occupancy;
@@ -166,11 +281,20 @@ void Pool::run_indexed(std::size_t n,
 
   // Flush per-job captures in submission order so log bytes and trace
   // chunks land identically at every worker count.
-  for (std::size_t i = 0; i < n; ++i) {
-    write_log_output(logs[i]);
-    for (trace::RunChunk& chunk : chunks[i]) {
-      trace::emit_chunk(std::move(chunk));
+  {
+    prof::Timer flush_timer = prof::timer("pool.flush");
+    for (std::size_t i = 0; i < n; ++i) {
+      prof::Timer job_flush = prof::timer("job.flush");
+      write_log_output(logs[i]);
+      for (trace::RunChunk& chunk : chunks[i]) {
+        trace::emit_chunk(std::move(chunk));
+      }
     }
+  }
+  if (prof_on) {
+    prof::Collector* collector = prof::global_collector();
+    for (const auto& meter : worker_meters) collector->fold(*meter);
+    collector->fold(caller_meter);
   }
   for (auto& error : errors) {
     if (error) std::rethrow_exception(error);

@@ -429,21 +429,9 @@ std::string Sink::to_json() const {
 
   // "imc" block: per-run metrics plus the chain digest — the part tests and
   // scripts/check_trace.py diff byte-for-byte.
-  out.append("],\n\"imc\":{\"schema\":\"imc-trace-v1\",\"runs\":[");
-  for (std::size_t run = 0; run < chunks_.size(); ++run) {
-    const RunChunk& chunk = chunks_[run];
-    if (run != 0) out.append(",");
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, chunk.digest);
-    out.append("\n{\"label\":\"");
-    out.append(json_escape(chunk.label));
-    out.append("\",\"digest\":\"");
-    out.append(buf);
-    out.append("\",\"dropped_events\":");
-    out.append(format_number(static_cast<double>(chunk.dropped_events)));
-    out.append(",\"metrics\":{");
+  auto append_metrics = [&out](const std::map<std::string, Stat>& metrics) {
     bool first_metric = true;
-    for (const auto& [name, stat] : chunk.metrics) {
+    for (const auto& [name, stat] : metrics) {
       if (!first_metric) out.append(",");
       first_metric = false;
       out.append("\n\"");
@@ -462,6 +450,35 @@ std::string Sink::to_json() const {
       out.append(format_number(stat.last));
       out.append("}");
     }
+  };
+  out.append("],\n\"imc\":{\"schema\":\"imc-trace-v1\",\"runs\":[");
+  for (std::size_t run = 0; run < chunks_.size(); ++run) {
+    const RunChunk& chunk = chunks_[run];
+    if (run != 0) out.append(",");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, chunk.digest);
+    out.append("\n{\"label\":\"");
+    out.append(json_escape(chunk.label));
+    out.append("\",\"digest\":\"");
+    out.append(buf);
+    out.append("\",\"dropped_events\":");
+    out.append(format_number(static_cast<double>(chunk.dropped_events)));
+    out.append(",\"metrics\":{");
+    append_metrics(chunk.metrics);
+    out.append("}}");
+  }
+  // "meta" array: diagnostic chunks (prof resource accounting, sweep-pool
+  // occupancy). Deliberately carries no digest field, and the chain digest
+  // below folds only the runs above — wall-clock data must never gain a
+  // byte-identity contract by accident (DESIGN.md §14).
+  out.append("],\"meta\":[");
+  for (std::size_t m = 0; m < meta_.size(); ++m) {
+    const RunChunk& chunk = meta_[m];
+    if (m != 0) out.append(",");
+    out.append("\n{\"label\":\"");
+    out.append(json_escape(chunk.label));
+    out.append("\",\"metrics\":{");
+    append_metrics(chunk.metrics);
     out.append("}}");
   }
   {

@@ -256,11 +256,13 @@ inline void value(const char* name, double v) {
 class Sink {
  public:
   void add(RunChunk chunk);
-  // Diagnostic chunks outside the determinism contract: rendered into the
-  // exported timeline (own pid namespace, after every run) but excluded
-  // from digest() and the "imc" metadata block. sweep::Pool uses this for
-  // its wall-clock worker-occupancy spans (IMC_TRACE_SWEEP=1), which by
-  // nature differ across thread counts and runs.
+  // Diagnostic chunks outside the determinism contract: spans render into
+  // the exported timeline (own pid namespace, after every run) and metrics
+  // into the "imc"."meta" array, but both are excluded from digest() and
+  // the digest-bearing "imc"."runs" block. sweep::Pool uses this for its
+  // wall-clock worker-occupancy spans (IMC_TRACE_SWEEP=1) and imc::prof
+  // for its resource-accounting block ("prof"), both of which by nature
+  // differ across thread counts and runs.
   void add_meta(RunChunk chunk);
   std::uint64_t digest() const;
   std::size_t size() const;

@@ -9,6 +9,7 @@
 #include "common/audit.h"
 #include "common/rng.h"
 #include "fault/fault.h"
+#include "prof/prof.h"
 #include "trace/trace.h"
 
 #include "adios/adios.h"
@@ -1034,7 +1035,15 @@ RunResult run(const Spec& spec) {
 
   phase.emplace(trace::span("workflow.run", trace::Track{}));
   phase->pin();
-  ctx.engine.run();
+  {
+    // Wall-clock cost of the whole event loop, attributed to the sweep
+    // worker's prof lane (inert when no Meter is bound — direct calls from
+    // tests, or profiling off). Simulated metrics above stay on
+    // ctx.engine.now(); this timer is the bridge between the two worlds
+    // the scaling investigation needs: virtual work per real second.
+    PROF_TIMER("engine.run");
+    ctx.engine.run();
+  }
 
   // Assemble the result.
   result.failures = ctx.failures;
@@ -1118,13 +1127,16 @@ RunResult run(const Spec& spec) {
 
   phase.emplace(trace::span("workflow.teardown", trace::Track{}));
   phase->pin();
-  if (ctx.ds) ctx.ds->shutdown();
-  if (ctx.dimes) ctx.dimes->shutdown();
-  ctx.engine.run();  // drain the server shutdowns
-  // Destroy any processes still parked on a failure path before the Ctx
-  // members they reference go away. Frame unwinding releases their RAII
-  // resources, so this must run before the leak ledger is read.
-  ctx.engine.reap_processes();
+  {
+    PROF_TIMER("engine.teardown");
+    if (ctx.ds) ctx.ds->shutdown();
+    if (ctx.dimes) ctx.dimes->shutdown();
+    ctx.engine.run();  // drain the server shutdowns
+    // Destroy any processes still parked on a failure path before the Ctx
+    // members they reference go away. Frame unwinding releases their RAII
+    // resources, so this must run before the leak ledger is read.
+    ctx.engine.reap_processes();
+  }
 
   // Correctness tooling: the event-stream digest folded with the
   // per-library activity counters, and the auditor's leak report.
@@ -1150,6 +1162,11 @@ RunResult run(const Spec& spec) {
     result.fault.dropped_ops = fs.dropped_ops;
     result.fault.server_crashes = fs.server_crashes;
     result.fault.node_deaths = fs.node_deaths;
+    // Resource accounting: retries are real wall-clock work the harness
+    // repeats, so the prof lane tallies them next to its timers. Digest-
+    // excluded like everything prof records.
+    prof::count("fault.injected", static_cast<double>(fs.injected));
+    prof::count("fault.retries", static_cast<double>(fs.retries));
   }
 
   // Graceful degradation (Spec::fallback): the staging method reported an

@@ -1,0 +1,27 @@
+// must-flag: scoped-binding — the prof lane guard family: temporaries,
+// heap guards, and binding after the accessor already ran.
+namespace prof {
+struct Meter {};
+Meter* meter();
+}  // namespace prof
+
+struct ScopedProf {
+  explicit ScopedProf(prof::Meter& m);
+  ~ScopedProf();
+  ScopedProf(const ScopedProf&) = delete;
+};
+
+void temporary_guard(prof::Meter& lane) {
+  ScopedProf(lane);                // FLAG: unbinds at end of expression
+  prof::meter();                   // ...so this reads the old lane
+}
+
+void heap_guard(prof::Meter& lane) {
+  auto* bind = new ScopedProf(lane);  // FLAG: scope-decoupled guard
+  (void)bind;
+}
+
+void bound_too_late(prof::Meter& lane) {
+  prof::meter();                   // reads the previous lane's binding
+  ScopedProf bind(lane);           // FLAG: constructed after first use
+}

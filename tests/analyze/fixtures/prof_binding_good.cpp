@@ -1,0 +1,22 @@
+// must-pass: scoped-binding — a named prof lane guard constructed before
+// any accessor use, plus accessor-only code (an unbound thread is legal:
+// hooks are inert).
+namespace prof {
+struct Meter {};
+Meter* meter();
+}  // namespace prof
+
+struct ScopedProf {
+  explicit ScopedProf(prof::Meter& m);
+  ~ScopedProf();
+  ScopedProf(const ScopedProf&) = delete;
+};
+
+void run_lane(prof::Meter& lane) {
+  ScopedProf bind(lane);   // named, first thing in the scope
+  prof::meter();           // reads the fresh binding
+}
+
+void unbound_only() {
+  prof::meter();           // no guard in scope: hooks stay inert
+}

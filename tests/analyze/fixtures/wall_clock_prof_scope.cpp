@@ -1,0 +1,16 @@
+// Path-scope fixture for the wall-clock rule: this file reads real time
+// the way src/prof/ legitimately does. Staged under src/prof/ it must
+// pass (the rule is scoped out of the prof layer); staged anywhere else
+// under src/ the same bytes must flag.
+namespace std {
+namespace chrono {
+struct steady_clock {
+  static int now();
+};
+}  // namespace chrono
+}  // namespace std
+
+double wall_seconds() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return static_cast<double>(std::chrono::steady_clock::now() - origin);
+}

@@ -34,7 +34,8 @@ CORPUS = {
     "unordered-iteration": [("unordered_iteration", 2)],
     "wall-clock": [("wall_clock", 4)],
     "global-rng": [("global_rng", 4)],
-    "scoped-binding": [("scoped_binding", 3), ("arena_binding", 3)],
+    "scoped-binding": [("scoped_binding", 3), ("arena_binding", 3),
+                       ("prof_binding", 3)],
     "adhoc-retry": [("adhoc_retry", 1)],
     "env-without-or-die": [("env_without_or_die", 2)],
     "raw-exit-in-library": [("raw_exit_in_library", 2)],
@@ -75,8 +76,10 @@ class AnalyzeFixtureTests(unittest.TestCase):
     def tearDown(self):
         shutil.rmtree(self.scratch, ignore_errors=True)
 
-    def stage(self, fixture_name, content=None):
-        dst = os.path.join(self.src, fixture_name)
+    def stage(self, fixture_name, content=None, subdir=""):
+        dst_dir = os.path.join(self.src, subdir) if subdir else self.src
+        os.makedirs(dst_dir, exist_ok=True)
+        dst = os.path.join(dst_dir, fixture_name)
         if content is None:
             shutil.copy(os.path.join(FIXTURES, fixture_name), dst)
         else:
@@ -124,6 +127,24 @@ class AnalyzeFixtureTests(unittest.TestCase):
         proc = run([path, "--rule", "global-rng"])
         self.assertEqual(proc.returncode, 0,
                          "--rule global-rng must ignore wall-clock findings")
+
+    def test_wall_clock_rule_is_path_scoped_out_of_prof(self):
+        # The same bytes must flag anywhere in src/ but pass under
+        # src/prof/ — the one library directory where steady_clock is
+        # legitimate (the prof layer measures the harness itself and is
+        # strictly digest-excluded).
+        elsewhere = self.stage("wall_clock_prof_scope.cpp")
+        proc = run([elsewhere])
+        self.assertEqual(proc.returncode, 1,
+                         f"must flag outside src/prof/\n{proc.stdout}")
+        counts = rule_counts(proc.stdout)
+        self.assertGreaterEqual(counts.get("wall-clock", 0), 2,
+                                f"wanted wall-clock findings\n{proc.stdout}")
+
+        in_prof = self.stage("wall_clock_prof_scope.cpp", subdir="prof")
+        proc = run([in_prof])
+        self.assertEqual(proc.returncode, 0,
+                         f"src/prof/ must be exempt\n{proc.stdout}")
 
     def test_suppression_comments_round_trip(self):
         path = self.stage("suppression.cpp")
