@@ -16,6 +16,13 @@
 // byte-identical under every IMC_SCHEDULE (fifo / lifo / shuffle). The CI
 // chaos gate diffs exactly those two.
 //
+// The second sweep measures what replicated staging (imc::repl, DESIGN.md
+// §15) buys on identical fault plans: replication factor x crash count on
+// DataSpaces-native, against the MPI-IO fallback as the R=1 baseline. The
+// payload is sized so factor 3 fits under Titan's registered-memory cap —
+// at the paper's full 20 MB/proc, R=3 trips the Fig. 4 RDMA wall, which is
+// the durability-vs-memory trade-off in one number.
+//
 // Knobs: IMC_FAULT_SEED (plan seed), IMC_FAULT_BACKOFF (transport retry
 // initial backoff, seconds), IMC_SCHEDULE (tie-break policy).
 #include <algorithm>
@@ -161,6 +168,104 @@ int main() {
   }
   std::fflush(stdout);
 
+  // ---- Durability sweep: replication factor x crash count ----------------
+  //
+  // DataSpaces-native, 6 staging servers, crashes mid-run (after step-0
+  // puts, before the step-2 reads). The 2-crash plan kills servers 0 and 1
+  // half a virtual second apart, so the second crash races the first
+  // crash's resilver — and wipes the whole R=2 version board (members are
+  // servers 0..R-1), which is the one plan where factor 2 still has to
+  // fall back while factor 3 rides it out on board member 2.
+  struct CrashCol {
+    const char* name;
+    std::vector<fault::Plan::ServerCrash> crashes;
+  };
+  const CrashCol kCrashCols[] = {
+      {"1-crash", {{2.5, 0}}},
+      {"2-crash", {{2.5, 0}, {3.0, 1}}},
+  };
+  const int kFactors[] = {1, 2, 3};
+
+  std::printf("\nDurability: LAMMPS+MSD, (32,16), 10 MB/proc/step, "
+              "6 servers, MPI-IO fallback armed\n");
+  std::printf("%-10s %14s %14s\n", "factor", kCrashCols[0].name,
+              kCrashCols[1].name);
+
+  std::vector<workflow::Spec> repl_specs;
+  for (int factor : kFactors) {
+    for (const CrashCol& col : kCrashCols) {
+      workflow::Spec spec;
+      spec.app = workflow::AppSel::kLammps;
+      spec.method = MethodSel::kDataspacesNative;
+      spec.machine = hpc::titan();
+      spec.nsim = 32;
+      spec.nana = 16;
+      spec.steps = 3;
+      spec.lammps_atoms_per_proc = 256000;  // 10 MB/proc: R=3 fits the cap
+      spec.num_servers = 6;
+      spec.schedule = schedule;
+      spec.fault.seed = seed;
+      spec.fault.server_crashes = col.crashes;
+      spec.fault.transport_retry.initial_backoff = backoff;
+      spec.fallback.to_mpi_io = true;
+      spec.repl.factor = factor;
+      repl_specs.push_back(spec);
+    }
+  }
+  const auto repl_results = bench::run_all(repl_specs);
+
+  i = 0;
+  for (int factor : kFactors) {
+    std::printf("R=%-8d", factor);
+    for (std::size_t c = 0; c < 2; ++c) {
+      const auto& result = repl_results[i + c];
+      if (result.ok && !result.fault.fallback_activated &&
+          result.repl.objects_lost == 0 && factor > 1) {
+        std::printf(" %9.2fs SRV", result.end_to_end);  // survived in place
+      } else if (result.ok && result.fault.fallback_activated) {
+        std::printf(" %12s", "RECOVERED");
+      } else if (result.ok) {
+        std::printf(" %12.2fs", result.end_to_end);
+      } else {
+        std::printf(" %13s", bench::cell(result).c_str() + 2);
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    i += 2;
+  }
+
+  // Machine-parseable durability metrics (scripts/bench.py folds these into
+  // BENCH_perf.json next to the recovery records). Counts are
+  // schedule-invariant; times are deterministic per schedule.
+  std::printf("\n");
+  i = 0;
+  for (int factor : kFactors) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const auto& r = repl_results[i + c];
+      std::printf(
+          "durability: factor=%d plan=%s ok=%d fallback=%d "
+          "objects_lost=%llu degraded_gets=%llu under_replicated=%llu "
+          "replica_puts=%llu replica_bytes=%llu resilver_copies=%llu "
+          "resilver_bytes=%llu resilver_failures=%llu restores=%llu "
+          "time_to_restore=%.6f end_to_end=%.6f\n",
+          factor, kCrashCols[c].name, r.ok ? 1 : 0,
+          r.fault.fallback_activated ? 1 : 0,
+          static_cast<unsigned long long>(r.repl.objects_lost),
+          static_cast<unsigned long long>(r.repl.degraded_gets),
+          static_cast<unsigned long long>(r.repl.under_replicated),
+          static_cast<unsigned long long>(r.repl.replica_puts),
+          static_cast<unsigned long long>(r.repl.replica_bytes),
+          static_cast<unsigned long long>(r.repl.resilver_copies),
+          static_cast<unsigned long long>(r.repl.resilver_bytes),
+          static_cast<unsigned long long>(r.repl.resilver_failures),
+          static_cast<unsigned long long>(r.repl.restores),
+          r.repl.time_to_restore, r.end_to_end);
+    }
+    i += 2;
+  }
+  std::fflush(stdout);
+
   // Fold the schedule-invariant facts of every scenario into one digest:
   // outcomes, recovery counts, and sorted failure texts — everything the
   // fault determinism contract pins. Raw span timings are excluded; under
@@ -172,7 +277,7 @@ int main() {
   auto fold = [&invariant](std::uint64_t v) {
     invariant = splitmix64(invariant ^ v);
   };
-  for (const auto& r : results) {
+  auto fold_run = [&fold](const workflow::RunResult& r) {
     fold(r.ok ? 1 : 0);
     fold(r.fault.fallback_activated ? 1 : 0);
     fold(r.fault.retries);
@@ -187,6 +292,23 @@ int main() {
     for (const auto& f : failures) {
       for (unsigned char c : f) fold(c);
     }
+  };
+  for (const auto& r : results) fold_run(r);
+  for (const auto& r : repl_results) {
+    fold_run(r);
+    // Durability counts are part of the invariant contract too: replica
+    // placement, failover routing, and resilver copy counts are pure
+    // functions of object identity, never of the schedule. time_to_restore
+    // is excluded like every raw timing.
+    fold(r.repl.replica_puts);
+    fold(r.repl.replica_bytes);
+    fold(r.repl.degraded_gets);
+    fold(r.repl.under_replicated);
+    fold(r.repl.objects_lost);
+    fold(r.repl.resilver_copies);
+    fold(r.repl.resilver_bytes);
+    fold(r.repl.resilver_failures);
+    fold(r.repl.restores);
   }
   std::printf("\nchaos-invariant-digest: 0x%016llx\n",
               static_cast<unsigned long long>(invariant));
@@ -196,6 +318,24 @@ int main() {
   for (const auto& r : results) {
     if (!r.ok && r.failures.empty()) {
       std::printf("ABORT: a chaos run failed without a typed failure\n");
+      return 1;
+    }
+  }
+  for (const auto& r : repl_results) {
+    if (!r.ok && r.failures.empty()) {
+      std::printf("ABORT: a durability run failed without a typed failure\n");
+      return 1;
+    }
+  }
+  // Durability contract: with R >= 2 and a single crash, replicated staging
+  // must absorb the failure in place — zero lost objects and no fallback.
+  for (std::size_t f = 0; f < 3; ++f) {
+    const auto& r = repl_results[f * 2];  // the 1-crash column
+    const int factor = kFactors[f];
+    if (factor >= 2 &&
+        (!r.ok || r.fault.fallback_activated || r.repl.objects_lost > 0)) {
+      std::printf("ABORT: R=%d failed to absorb a single server crash\n",
+                  factor);
       return 1;
     }
   }

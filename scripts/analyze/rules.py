@@ -494,6 +494,9 @@ _SCOPED_FAMILIES = {
     "ScopedRecorder": (("trace", "global"), ("", "bound_recorder"),
                        ("internal", "bound_recorder")),
     "ScopedFaultPlan": (("fault", "active"), ("", "active")),
+    # `active` alone already belongs to ScopedFaultPlan, so the replication
+    # coordinator accessor is matched qualified-only.
+    "ScopedReplPolicy": (("repl", "active"),),
     "ScopedArena": (("arena", "current"),),
     "ScopedProf": (("prof", "meter"), ("", "bound_meter"),
                    ("internal", "bound_meter")),

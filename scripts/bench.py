@@ -118,14 +118,19 @@ TRACE_DIGEST_EVENT_CAP = "4096"
 # MPI-IO fallback activations, virtual time-to-recover) land in the report
 # next to the stdout hash so chaos-recovery regressions diff like perf ones.
 RECOVERY_LINE = re.compile(rb"^recovery: (.+)$", re.MULTILINE)
+# bench_ext_chaos' replication sweep emits one `durability:` line per
+# (factor, crash plan) cell: objects lost, degraded gets, resilver volume,
+# and time-to-restore-redundancy — the durability metrics of DESIGN.md §15,
+# recorded so replication regressions diff like perf ones.
+DURABILITY_LINE = re.compile(rb"^durability: (.+)$", re.MULTILINE)
 CHAOS_DIGEST_LINE = re.compile(rb"^chaos-invariant-digest: (0x[0-9a-f]+)$",
                                re.MULTILINE)
 
 
-def parse_recovery(stdout):
-    """Parses `recovery: k=v ...` lines into a list of typed records."""
+def parse_kv_lines(stdout, pattern):
+    """Parses `<prefix>: k=v ...` lines into a list of typed records."""
     records = []
-    for match in RECOVERY_LINE.finditer(stdout):
+    for match in pattern.finditer(stdout):
         record = {}
         for pair in match.group(1).decode().split():
             key, _, value = pair.partition("=")
@@ -138,6 +143,14 @@ def parse_recovery(stdout):
                     record[key] = value
         records.append(record)
     return records
+
+
+def parse_recovery(stdout):
+    return parse_kv_lines(stdout, RECOVERY_LINE)
+
+
+def parse_durability(stdout):
+    return parse_kv_lines(stdout, DURABILITY_LINE)
 
 
 def host_info():
@@ -303,6 +316,9 @@ def run_scenarios(build_dir, names, timeout, threads=None):
             if digest:
                 results[name]["chaos_invariant_digest"] = \
                     digest.group(1).decode()
+        durability = parse_durability(proc.stdout)
+        if durability:
+            results[name]["durability"] = durability
         print(f"  {name}{label}: {elapsed:.2f}s, "
               f"{results[name]['stdout_lines']} lines", flush=True)
     return results

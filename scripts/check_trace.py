@@ -18,8 +18,11 @@ Usage:
                          [--require-meta LABEL ...] [--print-digest]
 
 --require CAT fails unless at least one span carries that category (the
-span-name prefix before the first dot: fabric, ds, workflow, ...) or a
-counter does (mem gauges export as ph=C counters, not spans).
+span-name prefix before the first dot: fabric, ds, workflow, ...), a
+counter does (mem gauges export as ph=C counters, not spans), or a run's
+aggregated metrics map does — the metrics maps fold every event, so a
+category whose spans land beyond the IMC_TRACE_EVENTS cap (e.g. repl
+resilver spans late in a long chaos run) still proves its presence there.
 --require-meta LABEL fails unless a meta chunk with that label exists
 (e.g. `--require-meta prof` after an IMC_PROF run).
 --print-digest writes the chain digest to stdout for cheap shell diffs.
@@ -223,6 +226,11 @@ def main():
     if error:
         return fail(error)
 
+    # The event list is capped (IMC_TRACE_EVENTS); the per-run metrics maps
+    # are not. A category counts as present if either mentions it.
+    for run in imc["runs"]:
+        for name in run["metrics"]:
+            categories.add(name.split(".", 1)[0])
     missing = sorted(set(args.require) - categories)
     if missing:
         return fail(f"required span categories absent: {missing} "

@@ -191,12 +191,16 @@ python3 "$repo/scripts/imc-report.py" report \
   --out "$build/imc-report.md"
 
 # Chaos smoke: the fault-injection sweep must be deterministic two ways.
-# Across IMC_THREADS the whole stdout (tables, recovery lines, digest) and
-# the trace digest are byte-identical; across IMC_SCHEDULE tie-break
-# policies the chaos-invariant-digest line (outcomes + recovery counts +
-# sorted failures) is byte-identical while raw span timings may legitimately
-# shift (see src/check/check.h on same-instant contention). The trace must
-# also carry the fault.* spans/counters the Perfetto walkthrough documents.
+# Across IMC_THREADS the whole stdout (tables, recovery + durability lines,
+# digest) and the trace digest are byte-identical; across IMC_SCHEDULE
+# tie-break policies the chaos-invariant-digest line (outcomes + recovery
+# counts + durability counts + sorted failures) is byte-identical while raw
+# span timings may legitimately shift (see src/check/check.h on
+# same-instant contention). bench_ext_chaos includes the replicated
+# durability sweep (factor x crash count, DESIGN.md §15), so this one gate
+# also pins replica placement, failover routing, and resilver copy counts
+# against schedule and thread-count perturbation, and the trace must carry
+# the fault.* and repl.* spans/counters the Perfetto walkthrough documents.
 echo "==> chaos smoke (bench_ext_chaos: thread/schedule determinism + fault trace)"
 cmake --build "$smoke" -j "$(nproc)" --target bench_ext_chaos
 chaos="$smoke/bench/bench_ext_chaos"
@@ -211,7 +215,7 @@ if ! cmp -s "$smoke/chaos.t1.out" "$smoke/chaos.t2.out"; then
 fi
 echo "chaos stdout identical at IMC_THREADS=1 and 2"
 python3 "$repo/scripts/check_trace.py" "$smoke/chaos.trace.t1.json" \
-  --require fault --require workflow
+  --require fault --require workflow --require repl
 c1="$(python3 "$repo/scripts/check_trace.py" "$smoke/chaos.trace.t1.json" \
   --print-digest)"
 c2="$(python3 "$repo/scripts/check_trace.py" "$smoke/chaos.trace.t2.json" \

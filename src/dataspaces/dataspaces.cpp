@@ -48,15 +48,32 @@ Status DataSpaces::deploy(const std::vector<int>& staging_node_ids) {
   for (auto& server : servers_) {
     engine_->spawn(server_loop(*server));
   }
-  // Scheduled staging-server crash from the bound fault plan (if any).
+  // Replication knobs are pinned per deployment: every put/get of this
+  // world walks chains of the same effective factor.
+  if (repl::Coordinator* coordinator = repl::active()) {
+    factor_ = coordinator->factor_for(num_servers());
+    quorum_ = coordinator->quorum_for(factor_);
+    mode_ = coordinator->policy().mode;
+  }
+  board_span_ = factor_ > 1 ? std::min(factor_, num_servers()) : 1;
+  // Scheduled staging-server crashes from the bound fault plan (if any).
   if (fault::Injector* injector = fault::active()) {
-    const fault::Plan::ServerCrash& crash = injector->plan().server_crash;
-    if (crash.at >= 0 && crash.server >= 0 &&
-        crash.server < static_cast<int>(servers_.size())) {
-      engine_->spawn(crash_watcher(crash.server, crash.at));
+    for (const fault::Plan::ServerCrash& crash :
+         injector->plan().crash_schedule()) {
+      if (crash.server >= 0 && crash.server < static_cast<int>(servers_.size())) {
+        engine_->spawn(crash_watcher(crash.server, crash.at));
+      }
     }
   }
   return Status::ok();
+}
+
+int DataSpaces::live_board_members() const {
+  int live = 0;
+  for (int s = 0; s < board_span_; ++s) {
+    if (!servers_[static_cast<std::size_t>(s)]->crashed) ++live;
+  }
+  return live;
 }
 
 void DataSpaces::shutdown() {
@@ -161,6 +178,7 @@ Status DataSpaces::try_stage(Server& server, const PutPrep& req) {
   // the object's version.
   auto [vit, fresh_version] = versions.try_emplace(req.var.version);
   (void)fresh_version;
+  vit->second.desc = req.var;
   if (index_uses_cube(req.var.global)) {
     auto [iit, fresh_var] = server.index_charged.try_emplace(req.var.name, 0);
     if (fresh_var) {
@@ -202,7 +220,7 @@ Status DataSpaces::try_stage(Server& server, const PutPrep& req) {
   }
   // Record a placeholder; the content arrives with PutCommit.
   vit->second.objects.push_back(
-      StagedObject{req.box, nda::Slab(), req.bytes, registered});
+      StagedObject{req.box, nda::Slab(), req.bytes, registered, req.region});
   vit->second.index.insert(
       static_cast<int>(vit->second.objects.size()) - 1, req.box);
   audit::acquire(audit::Resource::kStagedObject, server.memory->name());
@@ -371,21 +389,36 @@ sim::Task<> DataSpaces::crash_watcher(int index, double at) {
         trace::Track{server.endpoint.node->id(), server.endpoint.pid});
     span.arg("server", index);
   }
-  // A dead master takes the version board with it: parked readers get a
-  // typed failure now instead of hanging to the end of the run.
-  if (server.id == 0) {
+  // A dead board takes parked readers with it: fail them with a typed error
+  // now instead of hanging to the end of the run. With replication on, the
+  // board survives on servers 0..board_span_-1, so waiters only fail when
+  // the last board replica dies.
+  if (board_member(server.id) && live_board_members() == 0) {
     for (auto& waiter : board_.waiters) {
       waiter.reply->push(make_error(ErrorCode::kConnectionFailed,
-                                    "staging server 0 crashed"));
+                                    "staging server " + std::to_string(index) +
+                                        " crashed (no board replica left)"));
     }
     board_.waiters.clear();
+  }
+  // Rebuild lost redundancy in the background, racing any follow-on
+  // crashes: every object the dead server held a copy of is re-copied from
+  // a surviving replica onto the next live chain candidate.
+  if (factor_ > 1) {
+    repl::Coordinator* coordinator = repl::active();
+    if (coordinator != nullptr && coordinator->policy().resilver) {
+      engine_->spawn(resilver(index, at));
+    }
   }
 }
 
 void DataSpaces::handle_publish(Server& server, const Publish& req) {
   evict_versions(server, req.var, req.version);
-  // Version board + waiter wakeup (server 0 only; publishes are broadcast).
-  if (server.id == 0) {
+  // Version board + waiter wakeup (board members only; publishes are
+  // broadcast). The board struct is shared, so the first member to apply a
+  // publish wakes the waiters and later members find the list drained —
+  // the wake time is the minimum over members, schedule-invariant.
+  if (board_member(server.id)) {
     int& published = board_.published[req.var];
     published = std::max(published, req.version);
     auto it = board_.waiters.begin();
@@ -448,6 +481,244 @@ sim::Task<> DataSpaces::run_get(Server& server, GetReq req) {
   req.reply->push(std::move(pieces));
 }
 
+// -------------------------------------------------------- replication -----
+
+sim::Task<Status> DataSpaces::replicate_object(int src_id, int dst_id,
+                                               nda::VarDesc var, int region,
+                                               nda::Box box,
+                                               std::uint64_t bytes) {
+  Server& src = *servers_[static_cast<std::size_t>(src_id)];
+  Server& dst = *servers_[static_cast<std::size_t>(dst_id)];
+  if (src.crashed || dst.crashed) {
+    co_return make_error(ErrorCode::kConnectionFailed,
+                         "staging server " +
+                             std::to_string(src.crashed ? src_id : dst_id) +
+                             " crashed");
+  }
+  trace::Span span = trace::span(
+      "repl.copy", trace::Track{dst.endpoint.node->id(), dst.endpoint.pid});
+  span.arg("bytes", static_cast<double>(bytes));
+  // Server-to-server lanes are lazy: servers only talk to clients until the
+  // first replica copy needs a peer connection (connect is idempotent).
+  if (Status st = co_await transport_->connect(src.endpoint, dst.endpoint);
+      !st.is_ok()) {
+    co_return st;
+  }
+  // Descriptor handling + index insertion on the destination.
+  co_await engine_->sleep(kServerServiceSeconds + kIndexOpSeconds);
+  // One-sided movement between the two pinned staging regions.
+  net::TransferOptions opts;
+  opts.src_pinned = true;
+  opts.dst_pinned = transport_is_rdma();
+  if (Status st =
+          co_await transport_->transfer(src.endpoint, dst.endpoint, bytes, opts);
+      !st.is_ok()) {
+    co_return st;
+  }
+  // Re-validate after the awaits: either end may have crashed and the source
+  // object may have been evicted while the copy was in flight.
+  if (src.crashed || dst.crashed) {
+    co_return make_error(ErrorCode::kConnectionFailed,
+                         "staging server " +
+                             std::to_string(src.crashed ? src_id : dst_id) +
+                             " crashed mid-copy");
+  }
+  const StagedObject* found = nullptr;
+  if (auto sit = src.staged.find(var.name); sit != src.staged.end()) {
+    if (auto vit = sit->second.find(var.version); vit != sit->second.end()) {
+      for (const StagedObject& object : vit->second.objects) {
+        if (object.region == region && object.box == box) {
+          found = &object;
+          break;
+        }
+      }
+    }
+  }
+  if (found == nullptr) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "source object of " + var.name + " v" +
+                             std::to_string(var.version) +
+                             " evicted mid-copy");
+  }
+  // Dedupe: a racing resilver (or the original put) may have landed the
+  // object on `dst` while this copy was in flight.
+  if (auto sit = dst.staged.find(var.name); sit != dst.staged.end()) {
+    if (auto vit = sit->second.find(var.version); vit != sit->second.end()) {
+      for (const StagedObject& object : vit->second.objects) {
+        if (object.region == region && object.box == box) {
+          co_return Status::ok();
+        }
+      }
+    }
+  }
+  PutPrep prep{var, box, bytes, /*reply=*/nullptr, region};
+  if (Status st = try_stage(dst, prep); !st.is_ok()) co_return st;
+  // No co_await between try_stage and this commit, so the placeholder just
+  // pushed is still objects.back().
+  dst.staged[var.name][var.version].objects.back().slab = found->slab;
+  co_return Status::ok();
+}
+
+sim::Task<> DataSpaces::async_replicate(int src_id, nda::VarDesc var,
+                                        int region, nda::Box box,
+                                        std::uint64_t bytes, int start_k,
+                                        int want) {
+  repl::Coordinator* coordinator = repl::active();
+  const int ns = num_servers();
+  for (int k = start_k; k < ns && want > 0; ++k) {
+    const int dst_id = replica_of(region, k);
+    if (servers_[static_cast<std::size_t>(dst_id)]->crashed) continue;
+    Status st = co_await replicate_object(src_id, dst_id, var, region, box,
+                                          bytes);
+    if (st.is_ok()) {
+      --want;
+      if (coordinator != nullptr) coordinator->note_replica_put(bytes);
+    }
+  }
+  if (want > 0 && coordinator != nullptr) coordinator->note_under_replicated();
+}
+
+sim::Task<Status> DataSpaces::resilver_copy_once(nda::VarDesc var, int region,
+                                                 nda::Box box,
+                                                 std::uint64_t bytes) {
+  const int ns = num_servers();
+  int src = -1;
+  int dst = -1;
+  for (int k = 0; k < ns; ++k) {
+    const int id = replica_of(region, k);
+    Server& cand = *servers_[static_cast<std::size_t>(id)];
+    if (cand.crashed) continue;
+    bool holds = false;
+    if (auto sit = cand.staged.find(var.name); sit != cand.staged.end()) {
+      if (auto vit = sit->second.find(var.version); vit != sit->second.end()) {
+        for (const StagedObject& object : vit->second.objects) {
+          if (object.region == region && object.box == box) {
+            holds = true;
+            break;
+          }
+        }
+      }
+    }
+    if (holds && src < 0) src = id;
+    if (!holds && dst < 0) dst = id;
+  }
+  if (src < 0) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "no surviving replica of " + var.name + " v" +
+                             std::to_string(var.version) + " region " +
+                             std::to_string(region));
+  }
+  if (dst < 0) co_return Status::ok();  // every live candidate already holds it
+  co_return co_await replicate_object(src, dst, var, region, box, bytes);
+}
+
+sim::Task<> DataSpaces::resilver(int crashed, double crashed_at) {
+  repl::Coordinator* coordinator = repl::active();
+  if (coordinator == nullptr) co_return;
+  const Server& dead = *servers_[static_cast<std::size_t>(crashed)];
+  trace::Span span = trace::span(
+      "repl.resilver",
+      trace::Track{dead.endpoint.node->id(), dead.endpoint.pid});
+  span.arg("server", crashed);
+  const fault::RetryPolicy policy = coordinator->policy().resilver_retry;
+  const int ns = num_servers();
+  std::uint64_t copies = 0;
+  // Walk every variable's regions; the ordered cache keeps the scan
+  // deterministic. For each region the chain decides who must hold a copy:
+  // target redundancy is factor_ copies, bounded by surviving servers.
+  for (const auto& [var_name, regions] : region_cache_) {
+    const int region_count = static_cast<int>(regions->boxes.size());
+    for (int region = 0; region < region_count; ++region) {
+      int live = 0;
+      Server* source = nullptr;
+      for (int k = 0; k < ns; ++k) {
+        Server& cand = *servers_[static_cast<std::size_t>(replica_of(region, k))];
+        if (cand.crashed) continue;
+        ++live;
+        if (source != nullptr) continue;
+        if (auto sit = cand.staged.find(var_name); sit != cand.staged.end()) {
+          for (const auto& [version, entry] : sit->second) {
+            (void)version;
+            for (const StagedObject& object : entry.objects) {
+              if (object.region == region) {
+                source = &cand;
+                break;
+              }
+            }
+            if (source != nullptr) break;
+          }
+        }
+      }
+      const int goal = std::min(factor_, live);
+      if (source == nullptr || goal == 0) continue;
+      // Snapshot the surviving objects of this region — the copy loop
+      // awaits, so iterate the snapshot, not the live maps.
+      struct Item {
+        nda::VarDesc var;
+        nda::Box box;
+        std::uint64_t bytes;
+      };
+      std::vector<Item> items;
+      for (const auto& [version, entry] : source->staged.find(var_name)->second) {
+        (void)version;
+        for (const StagedObject& object : entry.objects) {
+          if (object.region == region) {
+            items.push_back(Item{entry.desc, object.box, object.bytes});
+          }
+        }
+      }
+      for (const Item& item : items) {
+        int holders = 0;
+        for (int k = 0; k < ns; ++k) {
+          Server& cand =
+              *servers_[static_cast<std::size_t>(replica_of(region, k))];
+          if (cand.crashed) continue;
+          if (auto sit = cand.staged.find(item.var.name);
+              sit != cand.staged.end()) {
+            if (auto vit = sit->second.find(item.var.version);
+                vit != sit->second.end()) {
+              for (const StagedObject& object : vit->second.objects) {
+                if (object.region == region && object.box == item.box) {
+                  ++holders;
+                  break;
+                }
+              }
+            }
+          }
+        }
+        for (int deficit = goal - holders; deficit > 0; --deficit) {
+          // Retry key: pure function of the object's identity, never the
+          // clock, so backoff jitter is schedule-invariant.
+          const std::uint64_t op_key = splitmix64(
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(region))
+               << 32) ^
+              static_cast<std::uint32_t>(item.var.version));
+          Status st = co_await fault::retry(
+              *engine_, policy, op_key, "repl resilver copy",
+              [this, &item, region](int) {
+                return resilver_copy_once(item.var, region, item.box,
+                                          item.bytes);
+              });
+          if (st.is_ok()) {
+            ++copies;
+            coordinator->note_resilver_copy(item.bytes);
+          } else if (st.code() == ErrorCode::kNotFound) {
+            // Evicted mid-resilver (normal max_versions churn) — the copy
+            // is moot, not a failure.
+            break;
+          } else {
+            coordinator->note_resilver_failure();
+            coordinator->note_under_replicated();
+            break;
+          }
+        }
+      }
+    }
+  }
+  span.arg("copies", static_cast<double>(copies));
+  coordinator->note_redundancy_restored(engine_->now() - crashed_at);
+}
+
 // ------------------------------------------------------------- client -----
 
 sim::Task<Status> DataSpaces::Client::init() {
@@ -489,26 +760,79 @@ sim::Task<Status> DataSpaces::Client::put(const nda::VarDesc& var,
       trace::span("ds.put", trace::Track{self_.node->id(), self_.pid});
   span.arg("fanout", static_cast<double>(hits.size()));
   for (const auto& [region_idx, overlap] : hits) {
-    const int s = server_of_region(region_idx, ds_->num_servers());
-    Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
     const std::uint64_t bytes = overlap.volume() * nda::kElementBytes;
+    const int ns = ds_->num_servers();
+    const int factor = ds_->factor_;
+    // With replication off the walk degenerates to exactly one prep/commit
+    // against server_of_region — byte-identical to the unreplicated path.
+    // With it on, the chain is walked until `factor` servers acked; crashed
+    // members are skipped, so the object re-homes exactly where the get
+    // probe will look for it.
+    const int probe_span = factor > 1 ? ns : 1;
+    int acks = 0;
+    int first_ack = -1;
+    bool async_handoff = false;
+    Status refusal = Status::ok();
+    for (int k = 0; k < probe_span && acks < factor; ++k) {
+      const int s = ds_->replica_of(region_idx, k);
+      Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
 
-    // Descriptor request/grant round trip.
-    sim::Queue<Status> reply(*ds_->engine_);
-    co_await ds_->transport_->transfer(self_, server.endpoint, kCtrlBytes,
-                                       {.src_pinned = true, .dst_pinned = true});
-    server.queue->push(PutPrep{var, overlap, bytes, &reply});
-    Status granted = co_await reply.pop();
-    if (!granted.is_ok()) co_return granted;
+      // Descriptor request/grant round trip.
+      sim::Queue<Status> reply(*ds_->engine_);
+      co_await ds_->transport_->transfer(
+          self_, server.endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      server.queue->push(PutPrep{var, overlap, bytes, &reply, region_idx});
+      Status granted = co_await reply.pop();
+      if (!granted.is_ok()) {
+        if (factor > 1 && granted.code() == ErrorCode::kConnectionFailed) {
+          refusal = std::move(granted);
+          continue;
+        }
+        co_return granted;
+      }
 
-    // One-sided data movement into the pinned staging region.
-    net::TransferOptions opts;
-    opts.dst_pinned = true;  // server pre-registered the staging object
-    Status st =
-        co_await ds_->transport_->transfer(self_, server.endpoint, bytes, opts);
-    if (!st.is_ok()) co_return st;
+      // One-sided data movement into the pinned staging region.
+      net::TransferOptions opts;
+      opts.dst_pinned = true;  // server pre-registered the staging object
+      Status st = co_await ds_->transport_->transfer(self_, server.endpoint,
+                                                     bytes, opts);
+      if (!st.is_ok()) co_return st;
 
-    server.queue->push(PutCommit{var, slab.extract(overlap)});
+      server.queue->push(PutCommit{var, slab.extract(overlap)});
+      ++acks;
+      if (first_ack < 0) first_ack = s;
+      if (acks > 1) {
+        if (repl::Coordinator* coordinator = repl::active()) {
+          coordinator->note_replica_put(bytes);
+        }
+      }
+      if (ds_->mode_ == repl::Mode::kAsync && acks >= ds_->quorum_ &&
+          acks < factor) {
+        // Quorum reached: the remaining replicas are forwarded from the
+        // first acked server in the background, off the client's critical
+        // path.
+        ds_->engine_->spawn(ds_->async_replicate(first_ack, var, region_idx,
+                                                 overlap, bytes, k + 1,
+                                                 factor - acks));
+        async_handoff = true;
+        break;
+      }
+    }
+    if (acks == 0) {
+      co_return refusal.is_ok()
+                    ? make_error(ErrorCode::kConnectionFailed,
+                                 "no staging server reachable for region " +
+                                     std::to_string(region_idx))
+                    : refusal;
+    }
+    if (acks < factor && !async_handoff) {
+      // Fewer live chain members than the policy asks for: the put
+      // succeeded but redundancy is below target.
+      if (repl::Coordinator* coordinator = repl::active()) {
+        coordinator->note_under_replicated();
+      }
+    }
   }
   co_return Status::ok();
 }
@@ -523,16 +847,62 @@ sim::Task<Result<nda::Slab>> DataSpaces::Client::get(const nda::VarDesc& var,
   trace::Span span =
       trace::span("ds.get", trace::Track{self_.node->id(), self_.pid});
   for (const auto& [region_idx, overlap] : regions.index.query(box)) {
-    const int s = server_of_region(region_idx, ds_->num_servers());
-    Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
+    const int ns = ds_->num_servers();
+    const int factor = ds_->factor_;
+    // Failover probe: walk the region's replica chain until a live member
+    // serves the piece. Unreplicated runs probe exactly the region's owner.
+    const int probe_span = factor > 1 ? ns : 1;
+    int skipped = 0;
+    bool served = false;
+    Status last = Status::ok();
+    for (int k = 0; k < probe_span; ++k) {
+      const int s = ds_->replica_of(region_idx, k);
+      Server& server = *ds_->servers_[static_cast<std::size_t>(s)];
 
-    sim::Queue<Result<std::vector<nda::Slab>>> reply(*ds_->engine_);
-    co_await ds_->transport_->transfer(self_, server.endpoint, kCtrlBytes,
-                                       {.src_pinned = true, .dst_pinned = true});
-    server.queue->push(GetReq{var, overlap, self_, &reply});
-    auto piece = co_await reply.pop();
-    if (!piece.has_value()) co_return piece.status();
-    for (auto& p : *piece) pieces.push_back(std::move(p));
+      sim::Queue<Result<std::vector<nda::Slab>>> reply(*ds_->engine_);
+      co_await ds_->transport_->transfer(
+          self_, server.endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      server.queue->push(GetReq{var, overlap, self_, &reply});
+      auto piece = co_await reply.pop();
+      if (piece.has_value()) {
+        if (skipped > 0) {
+          // Served past a dead chain member — transparent to the caller,
+          // but the durability ledger records the degraded read.
+          if (repl::Coordinator* coordinator = repl::active()) {
+            coordinator->note_degraded_get();
+          }
+        }
+        for (auto& p : *piece) pieces.push_back(std::move(p));
+        served = true;
+        break;
+      }
+      last = piece.status();
+      if (factor > 1 && last.code() == ErrorCode::kConnectionFailed) {
+        ++skipped;
+        continue;
+      }
+      if (factor > 1 && last.code() == ErrorCode::kNotFound && skipped > 0) {
+        // A dead member earlier in the chain may have re-homed the object
+        // further down (put-time failover); keep probing.
+        continue;
+      }
+      co_return last;
+    }
+    if (!served) {
+      // The whole chain refused or came up empty: the object out-lived its
+      // redundancy. This is the only place replication admits data loss.
+      if (repl::Coordinator* coordinator = repl::active()) {
+        coordinator->note_object_lost();
+      }
+      co_return make_error(ErrorCode::kNotFound,
+                           "region " + std::to_string(region_idx) + " of " +
+                               var.name + " v" +
+                               std::to_string(var.version) + " lost (" +
+                               std::to_string(skipped) +
+                               " dead replica(s)); last error: " +
+                               last.to_string());
+    }
   }
   if (pieces.empty()) {
     co_return make_error(ErrorCode::kNotFound,
@@ -559,6 +929,42 @@ sim::Task<Result<nda::Slab>> DataSpaces::Client::get(const nda::VarDesc& var,
 }
 
 sim::Task<Status> DataSpaces::Client::publish(const nda::VarDesc& var) {
+  if (ds_->factor_ > 1) {
+    // Replicated publish: per-server ack queues so refusals are attributable.
+    // A crashed server's refusal is tolerated — its staged copies live on
+    // replicas — as long as one live board member applied the version bump.
+    std::vector<std::unique_ptr<sim::Queue<Status>>> acks;
+    acks.reserve(ds_->servers_.size());
+    for (auto& server : ds_->servers_) {
+      acks.push_back(std::make_unique<sim::Queue<Status>>(*ds_->engine_));
+      co_await ds_->transport_->transfer(
+          self_, server->endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      server->queue->push(Publish{var.name, var.version, acks.back().get()});
+    }
+    bool board_applied = false;
+    Status hard = Status::ok();
+    Status refused = Status::ok();
+    for (std::size_t s = 0; s < acks.size(); ++s) {
+      Status ack = co_await acks[s]->pop();
+      if (ack.is_ok()) {
+        if (ds_->board_member(static_cast<int>(s))) board_applied = true;
+      } else if (ack.code() == ErrorCode::kConnectionFailed) {
+        refused = std::move(ack);
+      } else {
+        hard = std::move(ack);
+      }
+    }
+    if (!hard.is_ok()) co_return hard;
+    if (!board_applied) {
+      co_return refused.is_ok()
+                    ? make_error(ErrorCode::kConnectionFailed,
+                                 "no live board replica acknowledged publish "
+                                 "of " + var.name)
+                    : refused;
+    }
+    co_return Status::ok();
+  }
   sim::Queue<Status> acks(*ds_->engine_);
   for (auto& server : ds_->servers_) {
     co_await ds_->transport_->transfer(self_, server->endpoint, kCtrlBytes,
@@ -578,12 +984,23 @@ sim::Task<Status> DataSpaces::Client::publish(const nda::VarDesc& var) {
 
 sim::Task<Status> DataSpaces::Client::wait_version(const std::string& var,
                                                    int version) {
-  Server& master = *ds_->servers_.front();
-  sim::Queue<Status> reply(*ds_->engine_);
-  co_await ds_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
-                                     {.src_pinned = true, .dst_pinned = true});
-  master.queue->push(WaitVersion{var, version, &reply});
-  co_return co_await reply.pop();
+  // Probe the board replicas in chain order; a refused member (crashed) is
+  // skipped while a live one remains. Unreplicated runs keep the historical
+  // master-only behavior.
+  Status last = Status::ok();
+  for (int s = 0; s < ds_->board_span_; ++s) {
+    Server& member = *ds_->servers_[static_cast<std::size_t>(s)];
+    sim::Queue<Status> reply(*ds_->engine_);
+    co_await ds_->transport_->transfer(
+        self_, member.endpoint, kCtrlBytes,
+        {.src_pinned = true, .dst_pinned = true});
+    member.queue->push(WaitVersion{var, version, &reply});
+    last = co_await reply.pop();
+    if (ds_->factor_ <= 1 || last.code() != ErrorCode::kConnectionFailed) {
+      co_return last;
+    }
+  }
+  co_return last;
 }
 
 namespace {

@@ -36,6 +36,7 @@
 #include "net/transport.h"
 #include "dataspaces/locks.h"
 #include "dataspaces/regions.h"
+#include "repl/repl.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -159,6 +160,8 @@ class DataSpaces {
     nda::Slab slab;
     std::uint64_t bytes = 0;
     std::uint64_t registered = 0;  // RDMA-pinned bytes (0 on sockets/shm)
+    int region = 0;  // staging region the box belongs to — the anchor of
+                     // the replica chain this object must stay on
   };
   struct VersionEntry {
     std::vector<StagedObject> objects;
@@ -166,6 +169,9 @@ class DataSpaces {
     // so a get resolves overlaps without scanning every staged object.
     nda::BoxIndex index;
     std::uint64_t index_bytes = 0;
+    // Variable descriptor (global dims + version), kept so the resilver can
+    // rebuild a PutPrep for objects whose writer is long gone.
+    nda::VarDesc desc;
   };
 
   // Server -> client protocol.
@@ -174,6 +180,7 @@ class DataSpaces {
     nda::Box box;
     std::uint64_t bytes;
     sim::Queue<Status>* reply;
+    int region = 0;
   };
   struct PutCommit {
     nda::VarDesc var;
@@ -237,10 +244,41 @@ class DataSpaces {
   sim::Task<Status> stage_attempt(Server& server, const PutPrep& req,
                                   int attempt);
   // Scheduled staging-server crash (fault plan): marks the server crashed
-  // at time `at` and fails parked version waiters with a typed error.
+  // at time `at`, fails parked version waiters with a typed error when the
+  // last board replica dies, and kicks off the background resilver when a
+  // replication policy is bound.
   sim::Task<> crash_watcher(int index, double at);
   // Replies kConnectionFailed to whatever request a crashed server popped.
   static void refuse(const Server& server, Request& request);
+
+  // --- replication (imc::repl; factor_ == 1 bypasses all of it) ---
+  // Server id at chain position k of region `region_idx`'s replica chain.
+  int replica_of(int region_idx, int k) const {
+    return repl::chain_position(server_of_region(region_idx, num_servers()),
+                                k, num_servers());
+  }
+  bool board_member(int id) const { return id < board_span_; }
+  int live_board_members() const;
+  // One server-to-server object copy: transfer out of the source's pinned
+  // staging memory, stage + commit on the destination. Used by the resilver
+  // and the async put continuation.
+  sim::Task<Status> replicate_object(int src_id, int dst_id, nda::VarDesc var,
+                                     int region, nda::Box box,
+                                     std::uint64_t bytes);
+  // Async-mode continuation: after the quorum acked, write the remaining
+  // replicas by forwarding from the last acked server in the background.
+  sim::Task<> async_replicate(int src_id, nda::VarDesc var, int region,
+                              nda::Box box, std::uint64_t bytes, int start_k,
+                              int want);
+  // Background resilver after the crash of server `crashed`: re-copies
+  // every under-replicated staged object onto the first surviving chain
+  // candidates, each copy retried under the policy's resilver_retry.
+  sim::Task<> resilver(int crashed, double crashed_at);
+  // One resilver copy attempt: re-picks the surviving source and the first
+  // live candidate lacking the object *per attempt*, so a follow-on crash
+  // mid-retry re-routes instead of hammering a dead server.
+  sim::Task<Status> resilver_copy_once(nda::VarDesc var, int region,
+                                       nda::Box box, std::uint64_t bytes);
   void handle_put_commit(Server& server, PutCommit& req);
   void handle_publish(Server& server, const Publish& req);
   sim::Task<> run_get(Server& server, GetReq req);
@@ -268,6 +306,15 @@ class DataSpaces {
   std::vector<std::unique_ptr<Server>> servers_;
   Board board_;
   LockService locks_;
+  // Effective replication knobs, captured from the bound repl::Coordinator
+  // at deploy() so every request of the deployment sees one policy. The
+  // defaults reproduce the unreplicated behavior byte-for-byte.
+  int factor_ = 1;
+  int quorum_ = 1;
+  repl::Mode mode_ = repl::Mode::kSync;
+  // Servers 0..board_span_-1 replicate the version board; waiters only fail
+  // when the last of them dies.
+  int board_span_ = 1;
   // Values point into staging_regions_cached's process-lifetime cache.
   std::map<std::string, const RegionSet*, std::less<>> region_cache_;
   int next_pid_ = 900000;  // server pid space, distinct from rank pids

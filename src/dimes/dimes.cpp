@@ -41,14 +41,32 @@ Status Dimes::deploy(const std::vector<int>& staging_node_ids) {
     servers_.push_back(std::move(server));
   }
   for (auto& server : servers_) engine_->spawn(server_loop(*server));
+  // Replication knobs are pinned per deployment: every metadata op of this
+  // world walks chains of the same effective factor.
+  if (repl::Coordinator* coordinator = repl::active()) {
+    factor_ = coordinator->factor_for(num_servers());
+    quorum_ = coordinator->quorum_for(factor_);
+    mode_ = coordinator->policy().mode;
+  }
+  board_span_ = factor_ > 1 ? std::min(factor_, num_servers()) : 1;
   if (fault::Injector* injector = fault::active()) {
-    const fault::Plan::ServerCrash& crash = injector->plan().server_crash;
-    if (crash.at >= 0 && crash.server >= 0 &&
-        crash.server < static_cast<int>(servers_.size())) {
-      engine_->spawn(crash_watcher(crash.server, crash.at));
+    for (const fault::Plan::ServerCrash& crash :
+         injector->plan().crash_schedule()) {
+      if (crash.server >= 0 &&
+          crash.server < static_cast<int>(servers_.size())) {
+        engine_->spawn(crash_watcher(crash.server, crash.at));
+      }
     }
   }
   return Status::ok();
+}
+
+int Dimes::live_board_members() const {
+  int live = 0;
+  for (int s = 0; s < board_span_; ++s) {
+    if (!servers_[static_cast<std::size_t>(s)]->crashed) ++live;
+  }
+  return live;
 }
 
 void Dimes::shutdown() {
@@ -153,7 +171,10 @@ sim::Task<> Dimes::server_loop(Server& server) {
           }
         }
       }
-      if (server.id == 0) {
+      // Board members only (publishes are broadcast): the board struct is
+      // shared, so the first member to apply a publish wakes the waiters —
+      // the wake time is the minimum over members, schedule-invariant.
+      if (board_member(server.id)) {
         int& published = board_.published[publish->var];
         published = std::max(published, publish->version);
         auto it = board_.waiters.begin();
@@ -190,15 +211,233 @@ sim::Task<> Dimes::crash_watcher(int index, double at) {
       "fault.server_crash",
       trace::Track{server.endpoint.node->id(), server.endpoint.pid});
   span.arg("server", static_cast<double>(index));
-  if (server.id == 0) {
-    // Parked version waiters would otherwise hang forever on the dead
-    // board; fail them with a typed error the workflow can report.
+  // Parked version waiters would otherwise hang forever on a dead board;
+  // fail them with a typed error the workflow can report. With replication
+  // on, the board survives on servers 0..board_span_-1, so waiters only
+  // fail when the last board replica dies.
+  if (board_member(server.id) && live_board_members() == 0) {
     for (WaitVersion& waiter : board_.waiters) {
-      waiter.reply->push(make_error(ErrorCode::kConnectionFailed,
-                                    "metadata server 0 crashed"));
+      waiter.reply->push(make_error(
+          ErrorCode::kConnectionFailed,
+          "metadata server " + std::to_string(index) +
+              " crashed (no board replica left)"));
     }
     board_.waiters.clear();
   }
+  // Rebuild lost directory redundancy in the background, racing follow-on
+  // crashes.
+  if (factor_ > 1) {
+    repl::Coordinator* coordinator = repl::active();
+    if (coordinator != nullptr && coordinator->policy().resilver) {
+      engine_->spawn(resilver(index, at));
+    }
+  }
+}
+
+// -------------------------------------------------------- replication -----
+
+sim::Task<> Dimes::async_put_meta(int src_id, nda::VarDesc var, nda::Box box,
+                                  int owner_pid, int start_k, int want) {
+  repl::Coordinator* coordinator = repl::active();
+  const int ns = num_servers();
+  const int primary = primary_of(var.name);
+  Server& src = *servers_[static_cast<std::size_t>(src_id)];
+  for (int k = start_k; k < ns && want > 0; ++k) {
+    Server& md =
+        *servers_[static_cast<std::size_t>(repl::chain_position(primary, k, ns))];
+    if (md.crashed || src.crashed) continue;
+    // Server-to-server descriptor forward: one control message plus the
+    // destination's normal PutMeta service.
+    if (Status st = co_await transport_->connect(src.endpoint, md.endpoint);
+        !st.is_ok()) {
+      continue;
+    }
+    if (Status st = co_await transport_->transfer(
+            src.endpoint, md.endpoint, kCtrlBytes,
+            {.src_pinned = true, .dst_pinned = true});
+        !st.is_ok()) {
+      continue;
+    }
+    sim::Queue<Status> reply(*engine_);
+    md.queue->push(PutMeta{var, box, owner_pid, &reply});
+    Status st = co_await reply.pop();
+    if (st.is_ok()) {
+      --want;
+      if (coordinator != nullptr) {
+        coordinator->note_replica_put(config_.per_object_meta_bytes);
+      }
+    }
+  }
+  if (want > 0 && coordinator != nullptr) coordinator->note_under_replicated();
+}
+
+sim::Task<Status> Dimes::meta_copy_once(std::string var_name, int version,
+                                        ObjectDesc desc) {
+  const int ns = num_servers();
+  const int primary = primary_of(var_name);
+  int src = -1;
+  int dst = -1;
+  for (int k = 0; k < ns; ++k) {
+    const int id = repl::chain_position(primary, k, ns);
+    Server& cand = *servers_[static_cast<std::size_t>(id)];
+    if (cand.crashed) continue;
+    bool holds = false;
+    if (auto dit = cand.directory.find(var_name); dit != cand.directory.end()) {
+      if (auto vit = dit->second.find(version); vit != dit->second.end()) {
+        for (const ObjectDesc& held : vit->second.descs) {
+          if (held.box == desc.box && held.owner_pid == desc.owner_pid) {
+            holds = true;
+            break;
+          }
+        }
+      }
+    }
+    if (holds && src < 0) src = id;
+    if (!holds && dst < 0) dst = id;
+  }
+  if (src < 0) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "no surviving descriptor of " + var_name + " v" +
+                             std::to_string(version));
+  }
+  if (dst < 0) co_return Status::ok();  // chain already at target redundancy
+  Server& from = *servers_[static_cast<std::size_t>(src)];
+  Server& to = *servers_[static_cast<std::size_t>(dst)];
+  if (Status st = co_await transport_->connect(from.endpoint, to.endpoint);
+      !st.is_ok()) {
+    co_return st;
+  }
+  if (Status st = co_await transport_->transfer(
+          from.endpoint, to.endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      !st.is_ok()) {
+    co_return st;
+  }
+  co_await engine_->sleep(kServerServiceSeconds);
+  // Re-validate after the awaits: either end may have crashed and the
+  // source entry may have been evicted while the copy was in flight.
+  if (from.crashed || to.crashed) {
+    co_return make_error(ErrorCode::kConnectionFailed,
+                         "metadata server " +
+                             std::to_string(from.crashed ? src : dst) +
+                             " crashed mid-copy");
+  }
+  bool still_there = false;
+  if (auto dit = from.directory.find(var_name); dit != from.directory.end()) {
+    if (auto vit = dit->second.find(version); vit != dit->second.end()) {
+      for (const ObjectDesc& held : vit->second.descs) {
+        if (held.box == desc.box && held.owner_pid == desc.owner_pid) {
+          still_there = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!still_there) {
+    co_return make_error(ErrorCode::kNotFound,
+                         "source descriptor evicted mid-copy");
+  }
+  if (Status st =
+          to.memory->allocate(mem::Tag::kIndex, config_.per_object_meta_bytes);
+      !st.is_ok()) {
+    co_return st;
+  }
+  VersionDescs& entry = to.directory[var_name][version];
+  entry.descs.push_back(desc);
+  entry.index.insert(static_cast<int>(entry.descs.size()) - 1, desc.box);
+  ++to.stats.objects;
+  co_return Status::ok();
+}
+
+sim::Task<> Dimes::resilver(int crashed, double crashed_at) {
+  repl::Coordinator* coordinator = repl::active();
+  if (coordinator == nullptr) co_return;
+  const Server& dead = *servers_[static_cast<std::size_t>(crashed)];
+  trace::Span span = trace::span(
+      "repl.resilver",
+      trace::Track{dead.endpoint.node->id(), dead.endpoint.pid});
+  span.arg("server", crashed);
+  const fault::RetryPolicy policy = coordinator->policy().resilver_retry;
+  const int ns = num_servers();
+  std::uint64_t copies = 0;
+  // Deterministic union of variable names across the surviving directories.
+  std::map<std::string, int, std::less<>> names;
+  for (const auto& server : servers_) {
+    if (server->crashed) continue;
+    for (const auto& [name, versions] : server->directory) {
+      (void)versions;
+      names.emplace(name, primary_of(name));
+    }
+  }
+  for (const auto& [name, primary] : names) {
+    int live = 0;
+    Server* source = nullptr;
+    for (int k = 0; k < ns; ++k) {
+      Server& cand = *servers_[static_cast<std::size_t>(
+          repl::chain_position(primary, k, ns))];
+      if (cand.crashed) continue;
+      ++live;
+      if (source == nullptr && cand.directory.find(name) != cand.directory.end()) {
+        source = &cand;
+      }
+    }
+    const int goal = std::min(factor_, live);
+    if (source == nullptr || goal == 0) continue;
+    // Snapshot the surviving descriptors — the copy loop awaits, so iterate
+    // the snapshot, not the live directory.
+    struct Item {
+      int version;
+      ObjectDesc desc;
+    };
+    std::vector<Item> items;
+    for (const auto& [version, entry] : source->directory.find(name)->second) {
+      for (const ObjectDesc& desc : entry.descs) {
+        items.push_back(Item{version, desc});
+      }
+    }
+    for (const Item& item : items) {
+      int holders = 0;
+      for (int k = 0; k < ns; ++k) {
+        Server& cand = *servers_[static_cast<std::size_t>(
+            repl::chain_position(primary, k, ns))];
+        if (cand.crashed) continue;
+        if (auto dit = cand.directory.find(name); dit != cand.directory.end()) {
+          if (auto vit = dit->second.find(item.version);
+              vit != dit->second.end()) {
+            for (const ObjectDesc& held : vit->second.descs) {
+              if (held.box == item.desc.box &&
+                  held.owner_pid == item.desc.owner_pid) {
+                ++holders;
+                break;
+              }
+            }
+          }
+        }
+      }
+      for (int deficit = goal - holders; deficit > 0; --deficit) {
+        const std::uint64_t op_key = splitmix64(
+            std::hash<std::string>{}(name) ^
+            static_cast<std::uint32_t>(item.version));
+        Status st = co_await fault::retry(
+            *engine_, policy, op_key, "dimes resilver copy",
+            [this, &name, &item](int) {
+              return meta_copy_once(name, item.version, item.desc);
+            });
+        if (st.is_ok()) {
+          ++copies;
+          coordinator->note_resilver_copy(config_.per_object_meta_bytes);
+        } else if (st.code() == ErrorCode::kNotFound) {
+          break;  // evicted mid-resilver — moot, not a failure
+        } else {
+          coordinator->note_resilver_failure();
+          coordinator->note_under_replicated();
+          break;
+        }
+      }
+    }
+  }
+  span.arg("copies", static_cast<double>(copies));
+  coordinator->note_redundancy_restored(engine_->now() - crashed_at);
 }
 
 void Dimes::refuse(const Server& server, Request& request) {
@@ -297,25 +536,70 @@ sim::Task<Status> Dimes::Client::put(const nda::VarDesc& var,
   audit::acquire(audit::Resource::kStagedObject, memory_->name());
   buffer_used_ += bytes;
 
-  // Descriptor to the metadata server. The round trip retries transient
+  // Descriptor to the metadata chain. Each round trip retries transient
   // transport timeouts under the shared policy; a crashed server's
-  // kConnectionFailed is not retryable and surfaces immediately.
+  // kConnectionFailed is not retryable — with replication on the walk skips
+  // it and the descriptor re-homes on the next chain member.
   trace::Span span = trace::span(
       "dimes.put_meta", trace::Track{self_.node->id(), self_.pid});
   span.arg("bytes", static_cast<double>(bytes));
-  Server& md = dimes_->server_for(var.name);
-  fault::RetryPolicy policy = dimes_->config_.meta_retry;
-  std::uint64_t key = 0;
-  if (fault::Injector* injector = fault::active()) {
-    key = injector->op_key(self_.pid, md.endpoint.pid);
-    if (policy.seed == 0) policy.seed = injector->plan().seed;
+  const int ns = dimes_->num_servers();
+  const int factor = dimes_->factor_;
+  const int primary = dimes_->primary_of(var.name);
+  const int probe_span = factor > 1 ? ns : 1;
+  int acks = 0;
+  int first_ack = -1;
+  bool async_handoff = false;
+  Status refusal = Status::ok();
+  for (int k = 0; k < probe_span && acks < factor; ++k) {
+    const int s = repl::chain_position(primary, k, ns);
+    Server& md = *dimes_->servers_[static_cast<std::size_t>(s)];
+    fault::RetryPolicy policy = dimes_->config_.meta_retry;
+    std::uint64_t key = 0;
+    if (fault::Injector* injector = fault::active()) {
+      key = injector->op_key(self_.pid, md.endpoint.pid);
+      if (policy.seed == 0) policy.seed = injector->plan().seed;
+    }
+    Status st = co_await fault::retry(
+        *dimes_->engine_, policy, key, "dimes put_meta",
+        [this, &md, &var, &slab](int) {
+          return put_meta_once(md, var, slab.box());
+        },
+        [](ErrorCode code) { return code == ErrorCode::kTimeout; });
+    if (!st.is_ok()) {
+      if (factor > 1 && st.code() == ErrorCode::kConnectionFailed) {
+        refusal = std::move(st);
+        continue;
+      }
+      co_return st;
+    }
+    ++acks;
+    if (first_ack < 0) first_ack = s;
+    if (acks > 1) {
+      if (repl::Coordinator* coordinator = repl::active()) {
+        coordinator->note_replica_put(dimes_->config_.per_object_meta_bytes);
+      }
+    }
+    if (dimes_->mode_ == repl::Mode::kAsync && acks >= dimes_->quorum_ &&
+        acks < factor) {
+      dimes_->engine_->spawn(dimes_->async_put_meta(
+          first_ack, var, slab.box(), self_.pid, k + 1, factor - acks));
+      async_handoff = true;
+      break;
+    }
   }
-  co_return co_await fault::retry(
-      *dimes_->engine_, policy, key, "dimes put_meta",
-      [this, &md, &var, &slab](int) {
-        return put_meta_once(md, var, slab.box());
-      },
-      [](ErrorCode code) { return code == ErrorCode::kTimeout; });
+  if (acks == 0) {
+    co_return refusal.is_ok()
+                  ? make_error(ErrorCode::kConnectionFailed,
+                               "no metadata server reachable for " + var.name)
+                  : refusal;
+  }
+  if (acks < factor && !async_handoff) {
+    if (repl::Coordinator* coordinator = repl::active()) {
+      coordinator->note_under_replicated();
+    }
+  }
+  co_return Status::ok();
 }
 
 sim::Task<Status> Dimes::Client::put_meta_once(Server& md,
@@ -354,25 +638,66 @@ sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
   if (!initialized_) {
     co_return make_error(ErrorCode::kFailedPrecondition, "client not init'd");
   }
-  // Query the object directory (retrying transient transport timeouts).
+  // Query the object directory (retrying transient transport timeouts),
+  // probing the metadata chain past crashed members when replication is on.
   const trace::Track track{self_.node->id(), self_.pid};
   trace::Span query_span = trace::span("dimes.get.query", track);
-  Server& md = dimes_->server_for(var.name);
+  const int ns = dimes_->num_servers();
+  const int factor = dimes_->factor_;
+  const int primary = dimes_->primary_of(var.name);
+  const int probe_span = factor > 1 ? ns : 1;
   std::vector<ObjectDesc> descriptors;
-  fault::RetryPolicy policy = dimes_->config_.meta_retry;
-  std::uint64_t key = 0;
-  if (fault::Injector* injector = fault::active()) {
-    key = injector->op_key(self_.pid, md.endpoint.pid);
-    if (policy.seed == 0) policy.seed = injector->plan().seed;
+  int skipped = 0;
+  bool resolved = false;
+  Status meta = Status::ok();
+  for (int k = 0; k < probe_span; ++k) {
+    Server& md = *dimes_->servers_[static_cast<std::size_t>(
+        repl::chain_position(primary, k, ns))];
+    fault::RetryPolicy policy = dimes_->config_.meta_retry;
+    std::uint64_t key = 0;
+    if (fault::Injector* injector = fault::active()) {
+      key = injector->op_key(self_.pid, md.endpoint.pid);
+      if (policy.seed == 0) policy.seed = injector->plan().seed;
+    }
+    meta = co_await fault::retry(
+        *dimes_->engine_, policy, key, "dimes metadata query",
+        [this, &md, &var, &box, &descriptors](int) {
+          return query_meta_once(md, var, box, &descriptors);
+        },
+        [](ErrorCode code) { return code == ErrorCode::kTimeout; });
+    if (meta.is_ok()) {
+      if (skipped > 0) {
+        // Served past a dead chain member — transparent to the caller, but
+        // the durability ledger records the degraded read.
+        if (repl::Coordinator* coordinator = repl::active()) {
+          coordinator->note_degraded_get();
+        }
+      }
+      resolved = true;
+      break;
+    }
+    if (factor > 1 && meta.code() == ErrorCode::kConnectionFailed) {
+      ++skipped;
+      continue;
+    }
+    if (factor > 1 && meta.code() == ErrorCode::kNotFound && skipped > 0) {
+      // A dead member earlier in the chain may have re-homed the
+      // descriptors further down (put-time failover); keep probing.
+      continue;
+    }
+    break;
   }
-  Status meta = co_await fault::retry(
-      *dimes_->engine_, policy, key, "dimes metadata query",
-      [this, &md, &var, &box, &descriptors](int) {
-        return query_meta_once(md, var, box, &descriptors);
-      },
-      [](ErrorCode code) { return code == ErrorCode::kTimeout; });
   query_span.end();
-  if (!meta.is_ok()) co_return meta;
+  if (!resolved) {
+    if (factor > 1 && skipped > 0) {
+      // The whole chain refused or came up empty: the directory entries
+      // out-lived their redundancy.
+      if (repl::Coordinator* coordinator = repl::active()) {
+        coordinator->note_object_lost();
+      }
+    }
+    co_return meta;
+  }
 
   // Pull each intersecting piece directly from its owner's memory.
   std::vector<nda::Slab> pieces;
@@ -425,6 +750,43 @@ sim::Task<Result<nda::Slab>> Dimes::Client::get(const nda::VarDesc& var,
 }
 
 sim::Task<Status> Dimes::Client::publish(const nda::VarDesc& var) {
+  if (dimes_->factor_ > 1) {
+    // Replicated publish: per-server ack queues so refusals are
+    // attributable. A crashed server's refusal is tolerated — its directory
+    // entries live on chain replicas — as long as one live board member
+    // applied the version bump.
+    std::vector<std::unique_ptr<sim::Queue<Status>>> acks;
+    acks.reserve(dimes_->servers_.size());
+    for (auto& server : dimes_->servers_) {
+      acks.push_back(std::make_unique<sim::Queue<Status>>(*dimes_->engine_));
+      co_await dimes_->transport_->transfer(
+          self_, server->endpoint, kCtrlBytes,
+          {.src_pinned = true, .dst_pinned = true});
+      server->queue->push(Publish{var.name, var.version, acks.back().get()});
+    }
+    bool board_applied = false;
+    Status hard = Status::ok();
+    Status refused = Status::ok();
+    for (std::size_t s = 0; s < acks.size(); ++s) {
+      Status ack = co_await acks[s]->pop();
+      if (ack.is_ok()) {
+        if (dimes_->board_member(static_cast<int>(s))) board_applied = true;
+      } else if (ack.code() == ErrorCode::kConnectionFailed) {
+        refused = std::move(ack);
+      } else {
+        hard = std::move(ack);
+      }
+    }
+    if (!hard.is_ok()) co_return hard;
+    if (!board_applied) {
+      co_return refused.is_ok()
+                    ? make_error(ErrorCode::kConnectionFailed,
+                                 "no live board replica acknowledged publish "
+                                 "of " + var.name)
+                    : refused;
+    }
+    co_return Status::ok();
+  }
   sim::Queue<Status> acks(*dimes_->engine_);
   for (auto& server : dimes_->servers_) {
     co_await dimes_->transport_->transfer(self_, server->endpoint, kCtrlBytes,
@@ -444,12 +806,23 @@ sim::Task<Status> Dimes::Client::publish(const nda::VarDesc& var) {
 
 sim::Task<Status> Dimes::Client::wait_version(const std::string& var,
                                               int version) {
-  Server& master = *dimes_->servers_.front();
-  sim::Queue<Status> reply(*dimes_->engine_);
-  co_await dimes_->transport_->transfer(self_, master.endpoint, kCtrlBytes,
-                                        {.src_pinned = true, .dst_pinned = true});
-  master.queue->push(WaitVersion{var, version, &reply});
-  co_return co_await reply.pop();
+  // Probe the board replicas in chain order; a refused member (crashed) is
+  // skipped while a live one remains. Unreplicated runs keep the historical
+  // master-only behavior.
+  Status last = Status::ok();
+  for (int s = 0; s < dimes_->board_span_; ++s) {
+    Server& member = *dimes_->servers_[static_cast<std::size_t>(s)];
+    sim::Queue<Status> reply(*dimes_->engine_);
+    co_await dimes_->transport_->transfer(
+        self_, member.endpoint, kCtrlBytes,
+        {.src_pinned = true, .dst_pinned = true});
+    member.queue->push(WaitVersion{var, version, &reply});
+    last = co_await reply.pop();
+    if (dimes_->factor_ <= 1 || last.code() != ErrorCode::kConnectionFailed) {
+      co_return last;
+    }
+  }
+  co_return last;
 }
 
 void Dimes::Client::finalize() {

@@ -29,6 +29,7 @@
 #include "ndarray/index.h"
 #include "ndarray/ndarray.h"
 #include "net/transport.h"
+#include "repl/repl.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -198,6 +199,29 @@ class Dimes {
   // Replies kConnectionFailed to whatever a crashed server popped.
   static void refuse(const Server& server, Request& request);
 
+  // --- metadata replication (imc::repl; factor_ == 1 bypasses all of it) ---
+  // Staged data lives in client memory here, so what replication protects is
+  // the *directory*: descriptors land on `factor_` chained metadata servers
+  // anchored at hash(name) % ns.
+  int primary_of(const std::string& var_name) const {
+    return static_cast<int>(std::hash<std::string>{}(var_name) %
+                            servers_.size());
+  }
+  bool board_member(int id) const { return id < board_span_; }
+  int live_board_members() const;
+  // Async-mode continuation: forward the descriptor to the remaining chain
+  // members from the first acked server, off the writer's critical path.
+  sim::Task<> async_put_meta(int src_id, nda::VarDesc var, nda::Box box,
+                             int owner_pid, int start_k, int want);
+  // One resilver copy attempt: re-picks the surviving source and the first
+  // live chain member lacking the descriptor per attempt.
+  sim::Task<Status> meta_copy_once(std::string var_name, int version,
+                                   ObjectDesc desc);
+  // Background resilver after the crash of metadata server `crashed`:
+  // re-copies under-replicated directory entries onto surviving chain
+  // members.
+  sim::Task<> resilver(int crashed, double crashed_at);
+
   static constexpr std::uint64_t kCtrlBytes = 128;
   static constexpr double kServerServiceSeconds = 8e-6;
 
@@ -208,6 +232,13 @@ class Dimes {
   std::vector<std::unique_ptr<Server>> servers_;
   Board board_;
   std::map<int, Client*> clients_;  // pid -> client (object directory)
+  // Effective replication knobs, captured from the bound repl::Coordinator
+  // at deploy(); defaults reproduce the unreplicated behavior byte-for-byte.
+  int factor_ = 1;
+  int quorum_ = 1;
+  repl::Mode mode_ = repl::Mode::kSync;
+  // Servers 0..board_span_-1 replicate the version board.
+  int board_span_ = 1;
   int next_pid_ = 800000;
 };
 

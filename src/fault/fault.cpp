@@ -24,9 +24,22 @@ std::uint64_t draw(std::uint64_t seed, std::uint64_t op_key, Kind kind,
 }  // namespace
 
 bool Plan::any() const {
-  return server_crash.at >= 0 || node_death.at >= 0 ||
+  return !crash_schedule().empty() || node_death.at >= 0 ||
          link_degrade.from >= 0 || mds_slowdown.from >= 0 ||
          straggler.every_nth > 0 || packet_loss > 0 || rdma_flap > 0;
+}
+
+std::vector<Plan::ServerCrash> Plan::crash_schedule() const {
+  std::vector<ServerCrash> schedule;
+  if (server_crash.at >= 0) schedule.push_back(server_crash);
+  for (const ServerCrash& crash : server_crashes) {
+    if (crash.at >= 0) schedule.push_back(crash);
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ServerCrash& a, const ServerCrash& b) {
+              return a.at != b.at ? a.at < b.at : a.server < b.server;
+            });
+  return schedule;
 }
 
 double RetryPolicy::backoff(int attempt, std::uint64_t op_key) const {

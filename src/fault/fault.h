@@ -40,6 +40,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -99,7 +100,11 @@ struct Plan {
     double factor = 1.0;  // compute-time multiplier for straggling ranks
   };
 
+  // Legacy single-crash spelling (still honored) plus the general list;
+  // crash_schedule() merges both. Durability tests against replication
+  // factor R >= 3 need two or more distinct crash times.
   ServerCrash server_crash;
+  std::vector<ServerCrash> server_crashes;
   NodeDeath node_death;
   Window link_degrade;   // net::Fabric bandwidth *= factor inside window
   Window mds_slowdown;   // lustre MDS op time *= factor inside window
@@ -110,6 +115,11 @@ struct Plan {
   // Policy the transport layer uses to retry injected transients
   // (registration flaps, lost packets). seed 0 defers to the plan seed.
   RetryPolicy transport_retry;
+
+  // All enabled server crashes — the legacy single slot merged with the
+  // list — sorted by (time, server). Deterministic regardless of how the
+  // plan was spelled; deploy() spawns one crash watcher per entry.
+  std::vector<ServerCrash> crash_schedule() const;
 
   bool any() const;
 };
@@ -246,6 +256,10 @@ sim::Task<Status> retry(sim::Engine& engine, RetryPolicy policy,
   Status last = make_error(ErrorCode::kInternal, "retry never attempted");
   int attempt = 0;
   for (; attempt < attempts; ++attempt) {
+    if (policy.op_timeout >= 0 && engine.now() - start > policy.op_timeout) {
+      break;  // budget burnt by the attempts themselves — don't sleep a
+              // full backoff just to notice
+    }
     if (attempt > 0 || policy.delay_first) {
       const int backoff_step = policy.delay_first ? attempt : attempt - 1;
       co_await engine.sleep(policy.backoff(backoff_step, op_key));

@@ -776,6 +776,15 @@ RunResult run(const Spec& spec) {
     injector = std::make_unique<fault::Injector>(spec.fault);
     fault_scope.emplace(*injector);
   }
+  // Replication binds the same way: when the policy asks for copies (or a
+  // fault plan is active, so unreplicated chaos runs report zeroed
+  // durability stats through the same ledger).
+  std::unique_ptr<repl::Coordinator> repl_coordinator;
+  std::optional<repl::ScopedReplPolicy> repl_scope;
+  if (spec.repl.replicated() || spec.fault.any()) {
+    repl_coordinator = std::make_unique<repl::Coordinator>(spec.repl);
+    repl_scope.emplace(*repl_coordinator);
+  }
   // Tracing rides the same per-world binding scheme: when a sink is
   // installed (IMC_TRACE=<path> or a test sink) each run records into its
   // own Recorder, stamped exclusively with ctx.engine's simulated clock.
@@ -1169,6 +1178,28 @@ RunResult run(const Spec& spec) {
     prof::count("fault.retries", static_cast<double>(fs.retries));
   }
 
+  if (repl_coordinator) {
+    const repl::Stats& rs = repl_coordinator->stats();
+    result.repl.factor = spec.repl.factor;
+    result.repl.replica_puts = rs.replica_puts;
+    result.repl.replica_bytes = rs.replica_bytes;
+    result.repl.degraded_gets = rs.degraded_gets;
+    result.repl.under_replicated = rs.under_replicated;
+    result.repl.objects_lost = rs.objects_lost;
+    result.repl.resilver_copies = rs.resilver_copies;
+    result.repl.resilver_bytes = rs.resilver_bytes;
+    result.repl.resilver_failures = rs.resilver_failures;
+    result.repl.restores = rs.restores;
+    result.repl.time_to_restore = rs.time_to_restore;
+    // Resource accounting: replica and resilver traffic is real extra work
+    // the durability policy buys; the prof lanes tally it next to the fault
+    // layer's. Digest-excluded like everything prof records.
+    prof::count("repl.replica_bytes", static_cast<double>(rs.replica_bytes));
+    prof::count("repl.resilver_bytes",
+                static_cast<double>(rs.resilver_bytes));
+    prof::count("repl.degraded_gets", static_cast<double>(rs.degraded_gets));
+  }
+
   // Graceful degradation (Spec::fallback): the staging method reported an
   // unrecoverable failure mid-run, so replay the whole workflow through the
   // MPI-IO file path — every step, so the analysis output matches what a
@@ -1180,10 +1211,12 @@ RunResult run(const Spec& spec) {
     result.fault.time_to_recover = ctx.engine.now();
     trace::count("fault.fallback");
     fault_scope.reset();  // the replay runs fault-free
+    repl_scope.reset();   // ... and unreplicated
     Spec fb = spec;
     fb.method = MethodSel::kMpiIo;
     fb.fault = fault::Plan{};
     fb.fallback.to_mpi_io = false;
+    fb.repl = repl::Policy{};
     RunResult replay = run(fb);
     result.recovered_failures = std::move(result.failures);
     result.failures = replay.failures;

@@ -19,6 +19,7 @@
 #include "hpc/machine.h"
 #include "mem/memory.h"
 #include "net/transport.h"
+#include "repl/repl.h"
 #include "sim/engine.h"
 
 namespace imc::workflow {
@@ -105,6 +106,13 @@ struct Spec {
     bool to_mpi_io = false;
   };
   FallbackSpec fallback;
+  // Replication policy for staged objects (DataSpaces) and directory
+  // entries (DIMES). factor 1 — the default — is byte-identical to the
+  // pre-replication behavior; factor R >= 2 lands every staged object on a
+  // chain of R servers, re-routes gets past crashed replicas, and resilvers
+  // lost redundancy in the background (DESIGN.md §15). Bound through a
+  // thread-local ScopedReplPolicy exactly like the fault plan.
+  repl::Policy repl;
   // Socket-pool slot wait budget (virtual seconds); < 0 waits forever (the
   // historical behavior), >= 0 surfaces kTimeout when exceeded.
   double socket_pool_timeout = -1.0;
@@ -177,6 +185,25 @@ struct RunResult {
   };
   FaultStats fault;
   std::vector<std::string> recovered_failures;
+
+  // Durability bookkeeping (zero when Spec::repl is factor 1 and no fault
+  // plan is active). objects_lost counts reads that exhausted every replica
+  // — the acceptance bar for "R >= 2 survives one crash" is this staying 0
+  // with no fallback.
+  struct ReplStats {
+    int factor = 1;                      // effective factor of the run
+    std::uint64_t replica_puts = 0;
+    std::uint64_t replica_bytes = 0;
+    std::uint64_t degraded_gets = 0;
+    std::uint64_t under_replicated = 0;
+    std::uint64_t objects_lost = 0;
+    std::uint64_t resilver_copies = 0;
+    std::uint64_t resilver_bytes = 0;
+    std::uint64_t resilver_failures = 0;
+    std::uint64_t restores = 0;
+    double time_to_restore = 0;  // max crash -> redundancy-restored span
+  };
+  ReplStats repl;
 
   // One-line verdict for tables.
   std::string failure_summary() const;

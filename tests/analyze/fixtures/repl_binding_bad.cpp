@@ -1,0 +1,27 @@
+// must-flag: scoped-binding — the replication policy guard family:
+// temporaries, heap guards, and binding after the accessor already ran.
+namespace repl {
+struct Coordinator {};
+Coordinator* active();
+}  // namespace repl
+
+struct ScopedReplPolicy {
+  explicit ScopedReplPolicy(repl::Coordinator& c);
+  ~ScopedReplPolicy();
+  ScopedReplPolicy(const ScopedReplPolicy&) = delete;
+};
+
+void temporary_guard(repl::Coordinator& world) {
+  ScopedReplPolicy(world);         // FLAG: unbinds at end of expression
+  repl::active();                  // ...so this reads the old world's policy
+}
+
+void heap_guard(repl::Coordinator& world) {
+  auto* bind = new ScopedReplPolicy(world);  // FLAG: scope-decoupled guard
+  (void)bind;
+}
+
+void bound_too_late(repl::Coordinator& world) {
+  repl::active();                  // reads the previous world's binding
+  ScopedReplPolicy bind(world);    // FLAG: constructed after first use
+}

@@ -1,0 +1,22 @@
+// must-pass: scoped-binding — a named replication policy guard constructed
+// before any accessor use, plus accessor-only code (an unbound thread is
+// legal: factor-1 semantics, every hook inert).
+namespace repl {
+struct Coordinator {};
+Coordinator* active();
+}  // namespace repl
+
+struct ScopedReplPolicy {
+  explicit ScopedReplPolicy(repl::Coordinator& c);
+  ~ScopedReplPolicy();
+  ScopedReplPolicy(const ScopedReplPolicy&) = delete;
+};
+
+void run_world(repl::Coordinator& world) {
+  ScopedReplPolicy bind(world);  // named, first thing in the scope
+  repl::active();                // reads the fresh binding
+}
+
+void unbound_only() {
+  repl::active();  // no guard in scope: unreplicated semantics
+}

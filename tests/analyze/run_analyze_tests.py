@@ -35,7 +35,7 @@ CORPUS = {
     "wall-clock": [("wall_clock", 4)],
     "global-rng": [("global_rng", 4)],
     "scoped-binding": [("scoped_binding", 3), ("arena_binding", 3),
-                       ("prof_binding", 3)],
+                       ("prof_binding", 3), ("repl_binding", 3)],
     "adhoc-retry": [("adhoc_retry", 1)],
     "env-without-or-die": [("env_without_or_die", 2)],
     "raw-exit-in-library": [("raw_exit_in_library", 2)],

@@ -62,6 +62,28 @@ TEST(FaultPlan, AnyDetectsEachKnob) {
   EXPECT_TRUE(flap.any());
 }
 
+TEST(FaultPlan, CrashScheduleMergesLegacyAndListSorted) {
+  Plan plan;
+  plan.server_crash = {0.3, 1};          // legacy single-crash spelling
+  plan.server_crashes.push_back({0.5, 2});
+  plan.server_crashes.push_back({0.1, 3});
+  plan.server_crashes.push_back({-1.0, 4});  // disabled — filtered out
+  const auto schedule = plan.crash_schedule();
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].server, 3);  // sorted by (time, server)
+  EXPECT_DOUBLE_EQ(schedule[0].at, 0.1);
+  EXPECT_EQ(schedule[1].server, 1);
+  EXPECT_EQ(schedule[2].server, 2);
+
+  // A list-only plan (no legacy slot) still counts as "any fault".
+  Plan list_only;
+  list_only.server_crashes.push_back({0.2, 0});
+  EXPECT_TRUE(list_only.any());
+  EXPECT_EQ(list_only.crash_schedule().size(), 1u);
+  EXPECT_FALSE(Plan{}.any());
+  EXPECT_TRUE(Plan{}.crash_schedule().empty());
+}
+
 TEST(FaultBackoff, GrowsGeometricallyAndCapsWithinJitterBounds) {
   RetryPolicy policy;
   policy.initial_backoff = 1e-3;
@@ -240,6 +262,40 @@ TEST(FaultRetry, OpTimeoutBoundsTheVirtualTimeBudget) {
   EXPECT_EQ(got.code(), ErrorCode::kTimeout);
   EXPECT_EQ(calls, 3);
   EXPECT_LE(engine.now(), 0.8);
+}
+
+sim::Task<Status> slow_failing_op(sim::Engine& engine, int* calls,
+                                  double cost) {
+  ++*calls;
+  co_await engine.sleep(cost);
+  co_return make_error(ErrorCode::kOutOfRdmaMemory, "synthetic failure");
+}
+
+TEST(FaultRetry, OpTimeoutIsCheckedBeforeIssuingTheNextAttempt) {
+  // Regression: the budget used to be examined only after the backoff
+  // sleep, so an op that burnt the whole budget by itself still slept one
+  // full backoff (10 s here) before retry() noticed exhaustion. The
+  // exhaustion timestamp must be the op's own cost, nothing more.
+  sim::Engine engine;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 10.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff = 10.0;
+  policy.jitter = 0;
+  policy.op_timeout = 0.6;
+  int calls = 0;
+  Status got;
+  engine.spawn([](sim::Engine& eng, RetryPolicy pol, int* cnt,
+                  Status* out) -> sim::Task<> {
+    *out = co_await retry(eng, pol, 1, "slow op", [&eng, cnt](int) {
+      return slow_failing_op(eng, cnt, 0.7);
+    });
+  }(engine, policy, &calls, &got));
+  engine.run();
+  EXPECT_EQ(calls, 1);  // attempt 0 alone exceeded the budget
+  EXPECT_EQ(got.code(), ErrorCode::kTimeout);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.7);  // no backoff slept past exhaustion
 }
 
 TEST(FaultRideOut, CertainFaultExhaustsAndZeroProbabilityIsFree) {
